@@ -1,0 +1,35 @@
+"""Design-choice ablations (DESIGN.md experiment index, last row)."""
+
+from repro.bench import ablations
+
+
+def test_ami_preload_ablation(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_ami_ablation, rounds=1, iterations=1)
+    result.check_shape()
+    save_result("ablation_ami", result.render())
+
+
+def test_billing_model_ablation(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_billing_ablation, rounds=1, iterations=1)
+    result.check_shape()
+    save_result("ablation_billing", result.render())
+
+
+def test_pool_width_ablation(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.run_pool_width_ablation, rounds=1, iterations=1
+    )
+    result.check_shape()
+    save_result("ablation_pool_width", result.render())
+
+
+def test_stream_count_ablation(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_stream_ablation, rounds=1, iterations=1)
+    result.check_shape()
+    save_result("ablation_streams", result.render())
+
+
+def test_batching_ablation(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_batching_ablation, rounds=1, iterations=1)
+    result.check_shape()
+    save_result("ablation_batching", result.render())

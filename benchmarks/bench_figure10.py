@@ -1,0 +1,35 @@
+"""Figure 10: deployment time, execution time and cost per instance type."""
+
+import pytest
+
+from repro.bench import figure10
+
+
+@pytest.mark.parametrize("instance_type", figure10.INSTANCE_TYPES)
+def test_figure10_per_instance_type(benchmark, instance_type):
+    """One column of Fig. 10; paper anchors asserted within 15%."""
+    row = benchmark.pedantic(
+        figure10.run_one, args=(instance_type,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        deploy_min=round(row.deploy_min, 2),
+        exec_min=round(row.exec_min, 2),
+        cost_usd=round(row.cost_usd, 4),
+    )
+    paper_exec = figure10.PAPER_EXEC_MIN[instance_type]
+    assert row.exec_min == pytest.approx(paper_exec, rel=0.15)
+    paper_deploy = figure10.PAPER_DEPLOY_MIN[instance_type]
+    if paper_deploy is not None:
+        assert row.deploy_min == pytest.approx(paper_deploy, rel=0.15)
+
+
+def test_figure10_full_series(benchmark, save_result):
+    """The whole figure: orderings and the ~2x cost steps."""
+    result = benchmark.pedantic(figure10.run, rounds=1, iterations=1)
+    result.check_shape()
+    save_result("figure10", result.render())
+    small, xlarge = result.row("m1.small"), result.row("m1.xlarge")
+    # "performance improvements are disproportionate with cost"
+    speedup = small.exec_min / xlarge.exec_min
+    cost_ratio = xlarge.cost_usd / small.cost_usd
+    assert cost_ratio > speedup

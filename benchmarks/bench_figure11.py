@@ -1,0 +1,39 @@
+"""Figure 11: transfer rate by method and file size."""
+
+import pytest
+
+from repro.bench import figure11
+from repro.calibration import GB, MB
+
+
+def test_figure11_full_series(benchmark, save_result):
+    result = benchmark.pedantic(figure11.run, rounds=1, iterations=1)
+    result.check_shape()
+    save_result("figure11", result.render())
+    go = [r for r in result.rates["globus"] if r is not None]
+    ftp = [r for r in result.rates["ftp"] if r is not None]
+    # paper envelopes, within 20%
+    assert min(go) == pytest.approx(figure11.PAPER_GO_RANGE_MBPS[0], rel=0.2)
+    assert max(go) == pytest.approx(figure11.PAPER_GO_RANGE_MBPS[1], rel=0.2)
+    assert min(ftp) == pytest.approx(figure11.PAPER_FTP_RANGE_MBPS[0], rel=0.3)
+    assert max(ftp) == pytest.approx(figure11.PAPER_FTP_RANGE_MBPS[1], rel=0.2)
+
+
+def test_figure11_http_refuses_over_2gb(benchmark):
+    result = benchmark.pedantic(
+        figure11.run, kwargs={"sizes": [1 * MB, 2 * GB + MB]}, rounds=1, iterations=1
+    )
+    assert result.rates["http"][0] is not None
+    assert result.rates["http"][1] is None  # refused: over the 2 GB cap
+    assert result.rates["globus"][1] is not None  # GO handles it fine
+
+
+def test_figure11_order_of_magnitude_claim(benchmark):
+    """Intro claim: 'performance improvements up to an order of magnitude'."""
+    result = benchmark.pedantic(figure11.run, rounds=1, iterations=1)
+    ratios = [
+        go / ftp
+        for go, ftp in zip(result.rates["globus"], result.rates["ftp"])
+        if go is not None and ftp is not None
+    ]
+    assert max(ratios) >= 6.0

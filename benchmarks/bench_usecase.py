@@ -1,0 +1,17 @@
+"""Sec. V-A use case: dynamic expansion of the Condor pool."""
+
+import pytest
+
+from repro.bench import usecase
+
+
+def test_usecase_scaling(benchmark, save_result):
+    bench = benchmark.pedantic(usecase.run, rounds=1, iterations=1)
+    bench.check_shape()
+    save_result("usecase", bench.render())
+    assert bench.baseline.steps34_minutes == pytest.approx(
+        usecase.PAPER_BASELINE_MIN, rel=0.1
+    )
+    assert bench.scaled.steps34_minutes == pytest.approx(
+        usecase.PAPER_SCALED_MIN, rel=0.15
+    )

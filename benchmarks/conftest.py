@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artefact inside the simulation,
+asserts its *shape* against the paper, and writes the rendered table to
+``benchmarks/results/<name>.txt`` (also echoed to stdout) so
+EXPERIMENTS.md can be rebuilt from fresh runs.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

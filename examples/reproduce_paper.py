@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate every evaluation artefact of the paper in one run.
+
+Prints, in order:
+
+* the Sec. V-A use case (baseline vs dynamic expansion),
+* Figure 10 (deployment/execution/cost per instance type),
+* Figure 11 (transfer rate per method and file size),
+* the four design-choice ablations,
+
+each with its paper-vs-measured comparison — the same tables the
+benchmark suite writes to ``benchmarks/results/``.
+
+Run:  python examples/reproduce_paper.py        (~15 s of real time)
+"""
+
+from repro.bench import ablations, figure10, figure11, usecase
+
+
+def main() -> None:
+    print("#" * 72)
+    print("# Use case (Sec. V-A)")
+    print("#" * 72)
+    bench = usecase.run()
+    bench.check_shape()
+    print(bench.render())
+
+    print()
+    print("#" * 72)
+    print("# Figure 10")
+    print("#" * 72)
+    fig10 = figure10.run()
+    fig10.check_shape()
+    print(fig10.render())
+
+    print()
+    print("#" * 72)
+    print("# Figure 11")
+    print("#" * 72)
+    fig11 = figure11.run()
+    fig11.check_shape()
+    print(fig11.render())
+
+    print()
+    print("#" * 72)
+    print("# Ablations")
+    print("#" * 72)
+    for runner in (
+        ablations.run_ami_ablation,
+        ablations.run_billing_ablation,
+        ablations.run_pool_width_ablation,
+        ablations.run_stream_ablation,
+    ):
+        result = runner()
+        result.check_shape()
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro: Galaxy + Globus Provision on clouds, reproduced offline.
+
+A complete implementation of the system described in Liu et al.,
+"Deploying Bioinformatics Workflows on Clouds with Galaxy and Globus
+Provision" (SC Companion 2012), built on a deterministic discrete-event
+simulation substrate with real statistical compute.
+
+Start here::
+
+    from repro.core import CloudTestbed, run_usecase
+    result = run_usecase()                 # the paper's Sec. V-A scenario
+    print(result.steps34_minutes)          # ~10.7, as the paper reports
+
+Subpackages (see DESIGN.md for the full inventory):
+
+- :mod:`repro.simcore` -- event kernel, processes, resources, seeded RNG
+- :mod:`repro.cloud` -- mock EC2, billing, TCP network models
+- :mod:`repro.chef` -- recipes/cookbooks with idempotent converge
+- :mod:`repro.cluster` -- Condor pool, NFS, NIS, nodes, SSH
+- :mod:`repro.security` -- X.509 CA, MyProxy
+- :mod:`repro.transfer` -- GridFTP, Globus Online, FTP/HTTP baselines
+- :mod:`repro.galaxy` -- the workflow platform
+- :mod:`repro.tools_globus` -- the three Globus Transfer Galaxy tools
+- :mod:`repro.crdata` -- the 35-tool statistical suite
+- :mod:`repro.provision` -- Globus Provision (topologies, deployer, CLI)
+- :mod:`repro.core` -- the glue: cookbooks, testbed, use case, autoscaler
+- :mod:`repro.workloads` -- synthetic datasets with planted signal
+- :mod:`repro.bench` -- drivers regenerating every paper figure
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Liu, Madduri, Chard, Sotomayor, Foster. Deploying Bioinformatics "
+    "Workflows on Clouds with Galaxy and Globus Provision. SC Companion 2012."
+)

@@ -1,0 +1,10 @@
+"""Experiment drivers shared by the benchmark suite and the examples.
+
+One module per paper artefact: Fig. 10 (deployment/execution/cost by
+instance type), Fig. 11 (transfer rate by method and file size), the
+Sec. V-A use case, and the design-choice ablations DESIGN.md calls out.
+"""
+
+from . import ablations, figure10, figure11, usecase
+
+__all__ = ["ablations", "figure10", "figure11", "usecase"]

@@ -1,0 +1,294 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures, but quantifications of the mechanisms the paper
+advertises: pre-loaded AMIs (Fig. 1 step 8), billing-model sensitivity of
+Fig. 10's costs, Condor pool width vs makespan, and Globus Transfer's
+parallel-stream auto-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import calibration
+from ..cloud import PriceBook
+from ..core import CloudTestbed, usecase_topology
+from ..core.usecase import run_usecase
+from ..galaxy import JobState
+from ..provision import GlobusProvision
+from ..reporting import render_series, render_table
+from ..transfer import TransferItem, TransferSpec
+from ..workloads import make_expression_matrix_bytes
+
+
+# ---------------------------------------------------------------------------
+# AMI pre-loading
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AmiAblation:
+    stock_seconds: float
+    custom_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.stock_seconds / self.custom_seconds
+
+    def check_shape(self) -> None:
+        assert self.speedup > 1.8, "custom AMI must cut deployment substantially"
+
+    def render(self) -> str:
+        return render_table(
+            ["AMI", "deploy (min)"],
+            [
+                ("gp-public (stock)", f"{self.stock_seconds / 60:.1f}"),
+                ("custom snapshot", f"{self.custom_seconds / 60:.1f}"),
+            ],
+            title=f"AMI pre-loading ablation (speedup {self.speedup:.1f}x)",
+        )
+
+
+def run_ami_ablation(seed: int = 0) -> AmiAblation:
+    bed = CloudTestbed(seed=seed)
+    gp = GlobusProvision(bed)
+    topo = usecase_topology("m1.small", cluster_nodes=1)
+    gpi = gp.create(topo)
+
+    def deploy_first():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(deploy_first()))
+    stock = gpi.start_seconds
+    ami = gp.deployer.create_custom_ami(
+        gpi.deployment, "simple-galaxy-condor", "galaxy-preloaded"
+    )
+    from dataclasses import replace
+
+    topo2 = replace(topo, ec2=replace(topo.ec2, ami=ami.id))
+    gpi2 = gp.create(topo2)
+
+    def deploy_second():
+        yield from gp.start(gpi2.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(deploy_second()))
+    return AmiAblation(stock_seconds=stock, custom_seconds=gpi2.start_seconds)
+
+
+# ---------------------------------------------------------------------------
+# Billing model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BillingAblation:
+    proportional_usd: float
+    hourly_usd: float
+    ec2_2012_usd: float
+
+    def check_shape(self) -> None:
+        assert self.hourly_usd >= self.proportional_usd
+        assert self.ec2_2012_usd > self.proportional_usd  # list prices are higher
+
+    def render(self) -> str:
+        return render_table(
+            ["billing model", "use-case total (USD)"],
+            [
+                ("proportional, paper-calibrated prices", f"{self.proportional_usd:.4f}"),
+                ("hourly round-up, paper-calibrated prices", f"{self.hourly_usd:.4f}"),
+                ("proportional, 2012 on-demand prices", f"{self.ec2_2012_usd:.4f}"),
+            ],
+            title="Billing-model ablation (whole use-case run, all hosts)",
+        )
+
+
+def run_billing_ablation(seed: int = 0) -> BillingAblation:
+    bed = CloudTestbed(seed=seed)
+    run_usecase(bed=bed, scale_up_with=None)
+    proportional = bed.meter.cost(bed.ctx.now, mode="proportional")
+    hourly = bed.meter.cost(bed.ctx.now, mode="hourly")
+    bed2 = CloudTestbed(seed=seed, price_book=PriceBook.ec2_2012())
+    run_usecase(bed=bed2, scale_up_with=None)
+    ec2_2012 = bed2.meter.cost(bed2.ctx.now, mode="proportional")
+    return BillingAblation(
+        proportional_usd=proportional, hourly_usd=hourly, ec2_2012_usd=ec2_2012
+    )
+
+
+# ---------------------------------------------------------------------------
+# Condor pool width
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PoolWidthAblation:
+    widths: list[int]
+    makespans_s: list[float] = field(default_factory=list)
+
+    def check_shape(self) -> None:
+        assert self.makespans_s == sorted(self.makespans_s, reverse=True)
+        # near-linear speedup early on
+        assert self.makespans_s[0] / self.makespans_s[1] > 1.5
+
+    def render(self) -> str:
+        return render_series(
+            "workers",
+            self.widths,
+            {"makespan of 16 jobs (min)": [f"{m / 60:.1f}" for m in self.makespans_s]},
+            title="Condor pool width ablation",
+        )
+
+
+def run_pool_width_ablation(widths: list[int] | None = None, seed: int = 0) -> PoolWidthAblation:
+    widths = widths or [1, 2, 4, 8]
+    result = PoolWidthAblation(widths=widths)
+    data = make_expression_matrix_bytes(n_probes=1000)
+    for width in widths:
+        bed = CloudTestbed(seed=seed)
+        gp = GlobusProvision(bed)
+        gpi = gp.create(usecase_topology("m1.small", cluster_nodes=width))
+
+        def scenario():
+            yield from gp.start(gpi.id)
+
+        bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+        app = gpi.deployment.galaxy
+        history = app.create_history("boliu")
+        t0 = bed.ctx.now
+        jobs = []
+        for i in range(16):
+            ds = app.upload_data(
+                history, f"m{i}.tsv", data=data, size=100 * calibration.MB,
+                ext="tabular",
+            )
+            jobs.append(app.run_tool("boliu", history, "crdata_matrixTTest", inputs=[ds]))
+        bed.ctx.sim.run(
+            until=bed.ctx.sim.all_of([app.jobs.when_done(j) for j in jobs])
+        )
+        assert all(j.state == JobState.OK for j in jobs)
+        result.makespans_s.append(bed.ctx.now - t0)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Transfer batching: one task with N files vs N single-file tasks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchingAblation:
+    n_files: int
+    batched_seconds: float
+    individual_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.individual_seconds / self.batched_seconds
+
+    def check_shape(self) -> None:
+        assert self.batched_seconds < self.individual_seconds
+        assert self.speedup > 1.2  # per-task overhead amortises
+
+    def render(self) -> str:
+        return render_table(
+            ["submission style", f"total time for {self.n_files} x 10 MB (s)"],
+            [
+                ("one task, all files", f"{self.batched_seconds:.1f}"),
+                ("one task per file", f"{self.individual_seconds:.1f}"),
+            ],
+            title=f"Transfer batching ablation (batching {self.speedup:.1f}x faster)",
+        )
+
+
+def run_batching_ablation(n_files: int = 12, seed: int = 0) -> BatchingAblation:
+    from ..cluster import SimFilesystem
+    from ..transfer import GridFTPServer
+
+    def setup():
+        bed = CloudTestbed(seed=seed)
+        fs = SimFilesystem("g")
+        server = GridFTPServer(ctx=bed.ctx, hostname="g.ec2", site="ec2", fs=fs)
+        bed.go.register_user("cvrg")
+        bed.go.create_endpoint("cvrg#galaxy", [server], public=True)
+        for i in range(n_files):
+            bed.laptop_fs.write(f"/home/boliu/b/f{i}.dat", size=10 * calibration.MB)
+        return bed
+
+    items = [
+        TransferItem(f"/home/boliu/b/f{i}.dat", f"/in/f{i}.dat")
+        for i in range(n_files)
+    ]
+    # batched: one task
+    bed = setup()
+    t0 = bed.ctx.now
+    task = bed.go.submit(
+        "boliu",
+        TransferSpec("boliu#laptop", "cvrg#galaxy", items=items, notify=False),
+    )
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    batched = bed.ctx.now - t0
+    # individual: sequential single-file tasks (as a naive script would)
+    bed = setup()
+    t0 = bed.ctx.now
+    for item in items:
+        task = bed.go.submit(
+            "boliu",
+            TransferSpec("boliu#laptop", "cvrg#galaxy", items=[item], notify=False),
+        )
+        bed.ctx.sim.run(until=bed.go.when_done(task))
+    individual = bed.ctx.now - t0
+    return BatchingAblation(
+        n_files=n_files, batched_seconds=batched, individual_seconds=individual
+    )
+
+
+# ---------------------------------------------------------------------------
+# Globus Transfer stream count
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StreamAblation:
+    streams: list[int]
+    rates_mbps: list[float] = field(default_factory=list)
+
+    def check_shape(self) -> None:
+        assert all(b >= a for a, b in zip(self.rates_mbps, self.rates_mbps[1:]))
+        assert self.rates_mbps[-1] > 2.5 * self.rates_mbps[0]
+
+    def render(self) -> str:
+        return render_series(
+            "parallel streams",
+            self.streams,
+            {"1 GB transfer rate (Mbit/s)": [f"{r:.1f}" for r in self.rates_mbps]},
+            title="GridFTP parallel-stream ablation",
+        )
+
+
+def run_stream_ablation(streams: list[int] | None = None, seed: int = 0) -> StreamAblation:
+    from ..cluster import SimFilesystem
+    from ..transfer import GridFTPServer
+
+    streams = streams or [1, 2, 4, 8]
+    bed = CloudTestbed(seed=seed)
+    galaxy_fs = SimFilesystem("g")
+    server = GridFTPServer(ctx=bed.ctx, hostname="g.ec2", site="ec2", fs=galaxy_fs)
+    bed.go.register_user("cvrg")
+    bed.go.create_endpoint("cvrg#galaxy", [server], public=True)
+    result = StreamAblation(streams=streams)
+    for i, n in enumerate(streams):
+        path = f"/home/boliu/stream_{n}.dat"
+        bed.laptop_fs.write(path, size=calibration.GB)
+        task = bed.go.submit(
+            "boliu",
+            TransferSpec(
+                source_endpoint="boliu#laptop",
+                dest_endpoint="cvrg#galaxy",
+                items=[TransferItem(path, f"/in/{i}.dat")],
+                parallel=n,
+                notify=False,
+            ),
+        )
+        bed.ctx.sim.run(until=bed.go.when_done(task))
+        result.rates_mbps.append(task.effective_rate_mbps())
+    return result

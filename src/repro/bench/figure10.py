@@ -1,0 +1,99 @@
+"""Figure 10: execution time, deployment time and cost per instance type.
+
+For each EC2 instance type the paper evaluates, deploy a fresh Galaxy
+cluster from the use-case topology, run steps 3+4 (differential
+expression on the 10.7 MB and 190.3 MB archives), and record deployment
+minutes, execution minutes, and the USD cost of the executing machine
+over the job span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import CloudTestbed
+from ..core.usecase import run_usecase
+from ..reporting import Comparison, render_table
+
+#: the paper's reported values (Sec. V-B)
+PAPER_EXEC_MIN = {"m1.small": 10.7, "c1.medium": 6.9, "m1.large": 5.4, "m1.xlarge": 4.6}
+PAPER_DEPLOY_MIN = {"m1.small": 8.8, "c1.medium": 7.2, "m1.large": None, "m1.xlarge": 4.9}
+PAPER_COST_USD = {"m1.small": 0.007, "m1.xlarge": 0.024}
+
+INSTANCE_TYPES = ["m1.small", "c1.medium", "m1.large", "m1.xlarge"]
+
+
+@dataclass
+class Figure10Row:
+    instance_type: str
+    deploy_min: float
+    exec_min: float
+    cost_usd: float
+
+
+@dataclass
+class Figure10Result:
+    rows: list[Figure10Row] = field(default_factory=list)
+
+    def row(self, instance_type: str) -> Figure10Row:
+        return next(r for r in self.rows if r.instance_type == instance_type)
+
+    def check_shape(self) -> None:
+        """The orderings the paper's figure shows; raises AssertionError."""
+        execs = [r.exec_min for r in self.rows]
+        deploys = [r.deploy_min for r in self.rows]
+        costs = [r.cost_usd for r in self.rows]
+        assert execs == sorted(execs, reverse=True), "exec time must fall with size"
+        assert deploys == sorted(deploys, reverse=True), "deploy time must fall with size"
+        assert costs == sorted(costs), "cost must rise with size"
+        # cost grows per size step; the larger steps approach 2x (the
+        # paper's "almost doubles" — its own numbers give 1.3x-1.7x steps)
+        for lo, hi in zip(costs, costs[1:]):
+            assert 1.2 <= hi / lo <= 2.6, f"cost step {hi / lo:.2f} out of range"
+        assert costs[-1] / costs[0] > 3.0
+
+    def render(self) -> str:
+        table = render_table(
+            ["instance type", "deploy (min)", "exec steps 3+4 (min)", "cost (USD)"],
+            [
+                (
+                    r.instance_type,
+                    f"{r.deploy_min:.1f}",
+                    f"{r.exec_min:.1f}",
+                    f"{r.cost_usd:.4f}",
+                )
+                for r in self.rows
+            ],
+            title="Figure 10: deployment/execution time and cost by instance type",
+        )
+        return table + "\n\n" + self.comparison().render()
+
+    def comparison(self) -> Comparison:
+        cmp = Comparison("Figure 10 paper-vs-measured")
+        for r in self.rows:
+            cmp.add(f"exec min ({r.instance_type})", PAPER_EXEC_MIN.get(r.instance_type), round(r.exec_min, 2))
+            cmp.add(f"deploy min ({r.instance_type})", PAPER_DEPLOY_MIN.get(r.instance_type), round(r.deploy_min, 2))
+        cmp.add("cost USD (m1.small)", PAPER_COST_USD["m1.small"], round(self.row("m1.small").cost_usd, 4))
+        cmp.add("cost USD (m1.xlarge)", PAPER_COST_USD["m1.xlarge"], round(self.row("m1.xlarge").cost_usd, 4))
+        return cmp
+
+
+def run_one(instance_type: str, seed: int = 0) -> Figure10Row:
+    """One column of the figure: a fresh world per instance type."""
+    bed = CloudTestbed(seed=seed)
+    result = run_usecase(
+        bed=bed, instance_type=instance_type, cluster_nodes=1, scale_up_with=None
+    )
+    return Figure10Row(
+        instance_type=instance_type,
+        deploy_min=result.deploy_minutes,
+        exec_min=result.steps34_minutes,
+        cost_usd=result.steps34_cost_usd(bed),
+    )
+
+
+def run(instance_types: list[str] | None = None, seed: int = 0) -> Figure10Result:
+    result = Figure10Result()
+    for itype in instance_types or INSTANCE_TYPES:
+        result.rows.append(run_one(itype, seed=seed))
+    return result

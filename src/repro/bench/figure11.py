@@ -1,0 +1,139 @@
+"""Figure 11: average transfer rate by method and file size.
+
+Moves files from the researcher's laptop to the Galaxy server (running on
+a c1.medium instance, as in the paper) using the three methods Galaxy
+offers — Globus Transfer, FTP upload, HTTP form upload — and reports the
+achieved Mbit/s.  Globus Transfer runs through the full service (task
+submission, activation, parallel GridFTP streams); the baselines run
+through Galaxy's upload paths.  HTTP refuses files above 2 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import calibration
+from ..cluster import SimFilesystem
+from ..core import CloudTestbed
+from ..reporting import Comparison, render_series
+from ..transfer import (
+    FTPUploader,
+    GridFTPServer,
+    HTTPUploader,
+    TransferItem,
+    TransferSpec,
+    UploadError,
+)
+
+#: the paper's reported envelope (Sec. V-B)
+PAPER_GO_RANGE_MBPS = (1.8, 37.0)
+PAPER_FTP_RANGE_MBPS = (0.2, 5.9)
+PAPER_HTTP_MAX_MBPS = 0.03
+
+METHODS = ["globus", "ftp", "http"]
+
+
+@dataclass
+class Figure11Result:
+    sizes: list[int]
+    rates: dict[str, list[Optional[float]]] = field(default_factory=dict)
+
+    def check_shape(self) -> None:
+        for i, size in enumerate(self.sizes):
+            go, ftp, http = (
+                self.rates["globus"][i], self.rates["ftp"][i], self.rates["http"][i]
+            )
+            assert go is not None and ftp is not None
+            assert go > ftp, f"GO must beat FTP at {size}"
+            if http is not None:
+                assert ftp > http, f"FTP must beat HTTP at {size}"
+                assert http < PAPER_HTTP_MAX_MBPS * 1.05
+            elif size <= calibration.HTTP_MAX_BYTES:
+                raise AssertionError("HTTP refused a file under its cap")
+        go = [r for r in self.rates["globus"] if r is not None]
+        assert go == sorted(go), "GO rate must grow with file size"
+
+    def render(self) -> str:
+        def fmt(v: Optional[float]) -> str:
+            return f"{v:.2f}" if v is not None else "refused"
+
+        table = render_series(
+            "size",
+            [f"{s // calibration.MB} MB" for s in self.sizes],
+            {
+                "Globus Transfer (Mbit/s)": [fmt(v) for v in self.rates["globus"]],
+                "FTP (Mbit/s)": [fmt(v) for v in self.rates["ftp"]],
+                "HTTP (Mbit/s)": [fmt(v) for v in self.rates["http"]],
+            },
+            title="Figure 11: laptop -> Galaxy server average transfer rate",
+        )
+        return table + "\n\n" + self.comparison().render()
+
+    def comparison(self) -> Comparison:
+        cmp = Comparison("Figure 11 paper-vs-measured")
+        go = [r for r in self.rates["globus"] if r is not None]
+        ftp = [r for r in self.rates["ftp"] if r is not None]
+        http = [r for r in self.rates["http"] if r is not None]
+        if go:
+            cmp.add("GO min Mbit/s", PAPER_GO_RANGE_MBPS[0], round(min(go), 2))
+            cmp.add("GO max Mbit/s", PAPER_GO_RANGE_MBPS[1], round(max(go), 2))
+        if ftp:
+            cmp.add("FTP min Mbit/s", PAPER_FTP_RANGE_MBPS[0], round(min(ftp), 2))
+            cmp.add("FTP max Mbit/s", PAPER_FTP_RANGE_MBPS[1], round(max(ftp), 2))
+        if http:
+            cmp.add("HTTP max Mbit/s", PAPER_HTTP_MAX_MBPS, round(max(http), 3))
+        return cmp
+
+
+def _measure_globus(bed: CloudTestbed, galaxy_fs, size: int, idx: int) -> float:
+    path = f"/home/boliu/fig11_{idx}.dat"
+    bed.laptop_fs.write(path, size=size)
+    spec = TransferSpec(
+        source_endpoint="boliu#laptop",
+        dest_endpoint="cvrg#galaxy",
+        items=[TransferItem(path, f"/galaxy/incoming/fig11_{idx}.dat")],
+        notify=False,
+    )
+    task = bed.go.submit("boliu", spec)
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    rate = task.effective_rate_mbps()
+    assert rate is not None
+    return rate
+
+
+def _measure_baseline(bed: CloudTestbed, galaxy_fs, size: int, idx: int, cls) -> Optional[float]:
+    path = f"/home/boliu/fig11_b{idx}.dat"
+    bed.laptop_fs.write(path, size=size)
+    uploader = cls(bed.ctx)
+    proc = bed.ctx.sim.process(
+        uploader.upload(bed.laptop_fs, path, galaxy_fs, f"/galaxy/up/fig11_{idx}.dat")
+    )
+    try:
+        result = bed.ctx.sim.run(until=proc)
+    except UploadError:
+        return None
+    return result.rate_mbps
+
+
+def run(sizes: Optional[list[int]] = None, seed: int = 0) -> Figure11Result:
+    sizes = sizes or list(calibration.FIGURE11_FILE_SIZES)
+    bed = CloudTestbed(seed=seed)
+    # the Galaxy server of Fig. 11 runs on a c1.medium at the EC2 site; for
+    # this transfer-only figure a bare server is equivalent to a full deploy
+    galaxy_fs = SimFilesystem("galaxy-server")
+    server = GridFTPServer(
+        ctx=bed.ctx, hostname="galaxy.ec2", site="ec2", fs=galaxy_fs
+    )
+    bed.go.register_user("cvrg")
+    bed.go.create_endpoint("cvrg#galaxy", [server], public=True)
+    result = Figure11Result(sizes=sizes, rates={m: [] for m in METHODS})
+    for i, size in enumerate(sizes):
+        result.rates["globus"].append(_measure_globus(bed, galaxy_fs, size, i))
+        result.rates["ftp"].append(
+            _measure_baseline(bed, galaxy_fs, size, i, FTPUploader)
+        )
+        result.rates["http"].append(
+            _measure_baseline(bed, galaxy_fs, size, i + 1000, HTTPUploader)
+        )
+    return result

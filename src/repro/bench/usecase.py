@@ -1,0 +1,59 @@
+"""The Sec. V-A use case as a benchmark: baseline vs elastic scale-up."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import CloudTestbed
+from ..core.usecase import UseCaseResult, run_usecase
+from ..reporting import Comparison, render_table
+
+PAPER_BASELINE_MIN = 10.7
+PAPER_SCALED_MIN = 6.9
+
+
+@dataclass
+class UseCaseBench:
+    baseline: UseCaseResult
+    scaled: UseCaseResult
+
+    def check_shape(self) -> None:
+        assert self.scaled.steps34_minutes < self.baseline.steps34_minutes * 0.8
+        assert self.scaled.step4_job.machine == "simple-condor-wn2"
+        assert self.scaled.update_seconds < 600
+
+    def render(self) -> str:
+        table = render_table(
+            ["scenario", "steps 3+4 (min)", "step-4 machine", "update (s)"],
+            [
+                (
+                    "small cluster",
+                    f"{self.baseline.steps34_minutes:.1f}",
+                    self.baseline.step4_job.machine,
+                    "-",
+                ),
+                (
+                    "after adding c1.medium",
+                    f"{self.scaled.steps34_minutes:.1f}",
+                    self.scaled.step4_job.machine,
+                    f"{self.scaled.update_seconds:.0f}",
+                ),
+            ],
+            title="Use case (Sec. V-A): dynamic cluster expansion",
+        )
+        cmp = Comparison("Use case paper-vs-measured")
+        cmp.add("steps 3+4 small (min)", PAPER_BASELINE_MIN,
+                round(self.baseline.steps34_minutes, 2))
+        cmp.add("steps 3+4 scaled (min)", PAPER_SCALED_MIN,
+                round(self.scaled.steps34_minutes, 2))
+        return table + "\n\n" + cmp.render()
+
+
+def run(seed: int = 0) -> UseCaseBench:
+    baseline = run_usecase(
+        bed=CloudTestbed(seed=seed), scale_up_with=None
+    )
+    scaled = run_usecase(
+        bed=CloudTestbed(seed=seed), scale_up_with="c1.medium"
+    )
+    return UseCaseBench(baseline=baseline, scaled=scaled)

@@ -1,0 +1,188 @@
+"""Calibration constants tying the simulation to the paper's reported numbers.
+
+Every constant that exists only to make the simulated testbed land near the
+numbers reported in the paper lives here, with the paper anchor it serves.
+The benchmarks assert *shape* (orderings, ratios, crossovers), not exact
+equality; EXPERIMENTS.md records paper-vs-measured values.
+
+Paper anchors (Liu et al., SC Companion 2012):
+
+* Use case (Sec. V-A): steps 3+4 of the cardiovascular workflow take
+  10.7 min on a *small* cluster and 6.9 min after `gp-instance-update`
+  adds one c1.medium worker.
+* Fig. 10: execution time of steps 3+4 per instance type —
+  small 10.7 min, medium 6.9 min, large 5.4 min, extra-large 4.6 min;
+  deployment time — small 8.8 min, medium 7.2 min, extra-large 4.9 min;
+  cost — 0.007 USD (small) rising to 0.024 USD (extra-large), roughly
+  doubling per size step.
+* Fig. 11: laptop -> Galaxy-server (c1.medium) average transfer rate:
+  Globus Transfer 1.8 -> 37 Mbit/s over the file-size range, FTP
+  0.2 -> 5.9 Mbit/s, HTTP below 0.03 Mbit/s with a hard 2 GB upload cap.
+"""
+
+from __future__ import annotations
+
+MINUTE = 60.0
+MB = 1024 * 1024
+GB = 1024 * MB
+
+# ---------------------------------------------------------------------------
+# Instance performance factors (Fig. 10 execution times)
+#
+# The CRData R jobs are dominated by single-threaded statistics.  We model
+# each job's wall time as
+#     T = T_FIXED + W / cpu_factor
+# and fit the factors to the paper's four step-3+4 anchors.  Steps 3 and 4
+# are two differential-expression jobs (10.7 MB and 190.3 MB archives), so
+# with a 75 s fixed overhead per job the anchors solve to
+#   total fixed = 150 s, total work W = 10.7*60 - 150 = 492 small-seconds:
+#   small : 150 + 492/1.00 = 642 s = 10.7 min  (anchor)
+#   medium: 150 + 492/1.86 = 414 s =  6.9 min  (anchor)
+#   large : 150 + 492/2.83 = 324 s =  5.4 min  (anchor)
+#   xlarge: 150 + 492/3.90 = 276 s =  4.6 min  (anchor)
+# ---------------------------------------------------------------------------
+
+#: Non-scalable overhead of one Galaxy/Condor job round trip (seconds),
+#: split into pre-dispatch (input staging, job script creation) and
+#: post-completion (output collection, history import) parts.
+JOB_PREP_OVERHEAD_S = 45.0
+JOB_FINALIZE_OVERHEAD_S = 30.0
+JOB_FIXED_OVERHEAD_S = JOB_PREP_OVERHEAD_S + JOB_FINALIZE_OVERHEAD_S
+
+#: Total compute of use-case steps 3+4 in m1.small-seconds (both archives).
+USECASE_STEPS34_CPU_WORK = 492.0
+
+#: The differential-expression tool's CPU cost per MB of CEL archive:
+#: 492 small-seconds over 10.7 MB + 190.3 MB = 201 MB of input.
+AFFY_CPU_SECONDS_PER_MB = USECASE_STEPS34_CPU_WORK / 201.0
+
+# Relative speed factors fit to the Fig. 10 anchors (m1.small == 1.0).
+CPU_FACTORS = {
+    "t1.micro": 0.45,
+    "m1.small": 1.0,
+    "c1.medium": 1.86,
+    "m1.large": 2.83,
+    "m1.xlarge": 3.90,
+}
+
+# ---------------------------------------------------------------------------
+# Deployment model (Fig. 10 deployment times)
+#
+#     deploy = BOOT + converge_io / io_factor + converge_cpu / cpu_factor
+#
+# Installation is I/O-bound (package downloads, untar, database init), so it
+# scales with io_factor, which grows slower than cpu_factor.  Anchors:
+# small 8.8 min, medium 7.2 min, xlarge 4.9 min (large is not reported; our
+# model interpolates to ~6 min).
+# ---------------------------------------------------------------------------
+
+#: EC2 boot + GP orchestration latency before Chef starts (seconds).
+BOOT_LATENCY_S = {
+    "t1.micro": 95.0,
+    "m1.small": 90.0,
+    "c1.medium": 80.0,
+    "m1.large": 75.0,
+    "m1.xlarge": 70.0,
+}
+
+IO_FACTORS = {
+    "t1.micro": 0.55,
+    "m1.small": 1.0,
+    "c1.medium": 1.24,
+    "m1.large": 1.55,
+    "m1.xlarge": 2.05,
+}
+
+#: Chef converge work for the full Galaxy+Globus+CRData run-list on a stock
+#: AMI, split into an I/O-bound and a CPU-bound part (small-instance secs).
+#: small: 90 + 370/1.0 + 68/1.0 = 528 s = 8.8 min  (anchor)
+#: medium: 80 + 370/1.24 + 68/1.86 = 415 s ~ 6.9 min (paper: 7.2)
+#: xlarge: 70 + 370/2.05 + 68/3.90 = 268 s ~ 4.5 min (paper: 4.9)
+GALAXY_RUNLIST_IO_WORK = 370.0
+GALAXY_RUNLIST_CPU_WORK = 68.0
+
+#: Using the GP-provided pre-loaded AMI (Sec. III-A step 8) skips package
+#: download/compile, cutting converge work by this factor.
+AMI_PRELOAD_SPEEDUP = 4.0
+
+# ---------------------------------------------------------------------------
+# Price book (Fig. 10 costs)
+#
+# Under proportional (per-second) billing these prices reproduce the paper's
+# reported step-3+4 costs: small 10.7 min * 0.04/h = 0.0071 USD; xlarge
+# 4.6 min * 0.32/h = 0.0245 USD.  2012 on-demand list prices (us-east-1:
+# m1.small 0.08, c1.medium 0.165, m1.large 0.32, m1.xlarge 0.64 USD/h) are
+# kept as an alternative book for the billing ablation.
+# ---------------------------------------------------------------------------
+
+PAPER_PRICE_BOOK = {
+    "t1.micro": 0.02,
+    "m1.small": 0.04,
+    "c1.medium": 0.08,
+    "m1.large": 0.16,
+    "m1.xlarge": 0.32,
+}
+
+EC2_2012_ONDEMAND_PRICE_BOOK = {
+    "t1.micro": 0.02,
+    "m1.small": 0.08,
+    "c1.medium": 0.165,
+    "m1.large": 0.32,
+    "m1.xlarge": 0.64,
+}
+
+# ---------------------------------------------------------------------------
+# Network / transfer model (Fig. 11)
+#
+# Laptop -> EC2 WAN path and per-protocol parameters.  The steady rate of a
+# TCP stream is min(window/RTT, Mathis MSS/(RTT*sqrt(loss))*C, bottleneck).
+# With RTT 50 ms and loss 1e-3 the Mathis limit is ~9 Mbit/s per stream;
+# Globus Transfer with 4 tuned streams approaches the paper's 37 Mbit/s.
+# Effective rate for a file adds per-transfer overhead, which dominates for
+# small files (GO ~ 4 s -> 1.8 Mbit/s at 1 MB, as in the paper).
+# ---------------------------------------------------------------------------
+
+WAN_RTT_S = 0.05
+WAN_LOSS = 1.0e-3
+WAN_BOTTLENECK_BPS = 100e6  # 100 Mbit/s access link
+TCP_MSS_BYTES = 1460
+MATHIS_C = 1.22
+
+#: Globus Transfer: GridFTP with tuned parallel streams and large windows.
+GO_STREAMS = 4
+GO_WINDOW_BYTES = 1 * MB
+GO_OVERHEAD_S = 2.5           # per-task setup: job submit + endpoint checks
+#: control-plane latency the hosted service adds on top (REST round trips)
+GO_AUTOTUNE_MIN_STREAMS = 1   # small files are not striped
+
+#: Galaxy FTP upload: stock single-stream TCP with a 36 KiB window (caps at
+#: ~5.9 Mbit/s over this path, the paper's large-file FTP rate) plus
+#: Galaxy's periodic import scan, a large constant latency that crushes
+#: small-file rates to ~0.2 Mbit/s.
+FTP_WINDOW_BYTES = 36 * 1024
+FTP_OVERHEAD_S = 38.0
+
+#: Galaxy HTTP form upload: the 2012 single-threaded CGI handler processed
+#: the multipart payload synchronously in 64 KiB chunks; the paper measured
+#: < 0.03 Mbit/s, which implies ~17 s of server-side handling per chunk.
+#: Files over 2 GB are refused outright (paper Sec. IV-A).
+HTTP_CHUNK_BYTES = 64 * 1024
+HTTP_SECONDS_PER_CHUNK = 18.0
+HTTP_OVERHEAD_S = 5.0
+HTTP_MAX_BYTES = 2 * GB
+
+#: File sizes plotted in Fig. 11 (bytes).
+FIGURE11_FILE_SIZES = [1 * MB, 10 * MB, 100 * MB, 512 * MB, 1 * GB, 2 * GB]
+
+# ---------------------------------------------------------------------------
+# Use-case datasets (Sec. V-A)
+# ---------------------------------------------------------------------------
+
+FOUR_CEL_ZIP_BYTES = int(10.7 * MB)      # fourCelFileSamples.zip
+AFFY_CEL_ZIP_BYTES = int(190.3 * MB)     # affyCelFileSamples.zip
+FOUR_CEL_N_ARRAYS = 4
+AFFY_CEL_N_ARRAYS = 72
+
+#: Condor negotiation cycle period (s); matches Condor's default order of
+#: magnitude and bounds job-dispatch latency in the use case.
+CONDOR_NEGOTIATION_INTERVAL_S = 20.0

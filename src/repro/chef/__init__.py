@@ -1,0 +1,45 @@
+"""Chef-like configuration management (GP's converge engine, Sec. III-A)."""
+
+from .attributes import LEVELS, NodeAttributes, deep_merge
+from .node import ChefNode
+from .recipe import Cookbook, CookbookRepository, Recipe, RecipeContext
+from .resources import (
+    SKIP_COST_S,
+    ChefResource,
+    Directory,
+    Execute,
+    Package,
+    RemoteFile,
+    ScmCheckout,
+    Service,
+    ServiceRestart,
+    Template,
+    UserAccount,
+)
+from .runner import ChefRunner, ConvergeError, ConvergeReport, ResourceOutcome
+
+__all__ = [
+    "LEVELS",
+    "SKIP_COST_S",
+    "ChefNode",
+    "ChefResource",
+    "ChefRunner",
+    "ConvergeError",
+    "ConvergeReport",
+    "Cookbook",
+    "CookbookRepository",
+    "Directory",
+    "Execute",
+    "NodeAttributes",
+    "Package",
+    "Recipe",
+    "RecipeContext",
+    "RemoteFile",
+    "ResourceOutcome",
+    "ScmCheckout",
+    "Service",
+    "ServiceRestart",
+    "Template",
+    "UserAccount",
+    "deep_merge",
+]

@@ -1,0 +1,64 @@
+"""Chef-style node attributes: nested dicts with precedence-aware merging.
+
+Chef resolves node attributes from several precedence levels (default <
+cookbook default < normal < override).  We implement the same model so GP
+topologies can override cookbook defaults, exactly as the paper's topology
+file overrides e.g. the Galaxy admin user list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+#: Precedence levels, lowest first.
+LEVELS = ("default", "cookbook", "normal", "override")
+
+
+def deep_merge(base: dict, extra: Mapping) -> dict:
+    """Recursively merge ``extra`` into a copy of ``base`` (extra wins)."""
+    out = dict(base)
+    for key, value in extra.items():
+        if (
+            key in out
+            and isinstance(out[key], dict)
+            and isinstance(value, Mapping)
+        ):
+            out[key] = deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out
+
+
+class NodeAttributes:
+    """Layered attribute store resolved by precedence then merge order."""
+
+    def __init__(self) -> None:
+        self._layers: dict[str, list[dict]] = {level: [] for level in LEVELS}
+
+    def set(self, level: str, attrs: Mapping[str, Any]) -> None:
+        """Add an attribute layer at ``level``."""
+        if level not in self._layers:
+            raise ValueError(f"unknown precedence level {level!r}; use one of {LEVELS}")
+        self._layers[level].append(dict(attrs))
+
+    def resolve(self) -> dict[str, Any]:
+        """Flatten all layers into one dict, highest precedence winning."""
+        merged: dict[str, Any] = {}
+        for level in LEVELS:
+            for layer in self._layers[level]:
+                merged = deep_merge(merged, layer)
+        return merged
+
+    def get(self, path: str | Iterable[str], default: Any = None) -> Any:
+        """Fetch ``"a.b.c"`` (or an iterable of keys) from the resolved view."""
+        keys = path.split(".") if isinstance(path, str) else list(path)
+        node: Any = self.resolve()
+        for key in keys:
+            if not isinstance(node, Mapping) or key not in node:
+                return default
+            node = node[key]
+        return node
+
+    def __contains__(self, path: str) -> bool:
+        sentinel = object()
+        return self.get(path, sentinel) is not sentinel

@@ -1,0 +1,45 @@
+"""The Chef view of a host: converged state plus hardware speed factors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .attributes import NodeAttributes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.nfs import SimFilesystem
+
+
+@dataclass
+class ChefNode:
+    """Mutable converged state of one host.
+
+    ``preloaded`` mirrors the AMI's pre-installed software so that
+    :class:`~repro.chef.resources.Package` resources for that software are
+    satisfied without work — the mechanism behind the paper's "create your
+    own AMI to speed up deployment" advice (Fig. 1 step 8).
+    """
+
+    name: str
+    cpu_factor: float = 1.0
+    io_factor: float = 1.0
+    preloaded: frozenset[str] = frozenset()
+    attributes: NodeAttributes = field(default_factory=NodeAttributes)
+    fs: Optional["SimFilesystem"] = None
+
+    packages: set[str] = field(default_factory=set)
+    users: dict[str, dict] = field(default_factory=dict)
+    directories: set[str] = field(default_factory=set)
+    files: dict[str, dict] = field(default_factory=dict)
+    services: dict[str, str] = field(default_factory=dict)
+    restarts: dict[str, int] = field(default_factory=dict)
+    markers: set[str] = field(default_factory=set)
+    checkouts: dict[str, tuple[str, str]] = field(default_factory=dict)
+    run_list: list[str] = field(default_factory=list)
+    converge_log: list[dict] = field(default_factory=list)
+
+    @property
+    def installed_software(self) -> set[str]:
+        """Everything present, whether converged here or baked into the AMI."""
+        return set(self.packages) | set(self.preloaded)

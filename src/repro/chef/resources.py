@@ -1,0 +1,181 @@
+"""Chef resources: idempotent units of host configuration.
+
+Each resource declares *what* should be true of the host plus how much
+I/O-bound and CPU-bound work converging it costs on an m1.small (seconds).
+The runner skips resources whose state already holds (idempotency), which
+is what makes re-running a run-list after a topology update cheap, and
+what makes a pre-loaded AMI deploy fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import ChefNode
+
+#: Cost of verifying an already-satisfied resource (seconds on m1.small).
+SKIP_COST_S = 2.0
+
+
+@dataclass
+class ChefResource:
+    """Base resource.  Subclasses define state predicates and effects."""
+
+    name: str
+    io_work: float = 0.0
+    cpu_work: float = 0.0
+    #: Optional guard: resource is skipped unless this returns True.
+    only_if: Optional[Callable[["ChefNode"], bool]] = None
+
+    def is_satisfied(self, node: "ChefNode") -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, node: "ChefNode") -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}[{self.name}]"
+
+
+@dataclass
+class Package(ChefResource):
+    """An installed software package (apt/yum/pip/R package alike)."""
+
+    version: str = "latest"
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return self.name in node.packages or self.name in node.preloaded
+
+    def apply(self, node: "ChefNode") -> None:
+        node.packages.add(self.name)
+
+
+@dataclass
+class UserAccount(ChefResource):
+    """A local (or NIS-published) user account."""
+
+    home: str = ""
+    groups: tuple[str, ...] = ()
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return self.name in node.users
+
+    def apply(self, node: "ChefNode") -> None:
+        node.users[self.name] = {
+            "home": self.home or f"/home/{self.name}",
+            "groups": list(self.groups),
+        }
+
+
+@dataclass
+class Directory(ChefResource):
+    """A directory on the node's filesystem (mkdir -p semantics)."""
+
+    owner: str = "root"
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return node.fs.isdir(self.name) if node.fs is not None else self.name in node.directories
+
+    def apply(self, node: "ChefNode") -> None:
+        if node.fs is not None:
+            node.fs.mkdirs(self.name, owner=self.owner)
+        node.directories.add(self.name)
+
+
+@dataclass
+class RemoteFile(ChefResource):
+    """A file fetched from a remote source (tool tarball, dataset, ...)."""
+
+    source: str = ""
+    size_bytes: int = 0
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return self.name in node.files
+
+    def apply(self, node: "ChefNode") -> None:
+        node.files[self.name] = {"source": self.source, "size": self.size_bytes}
+        if node.fs is not None:
+            node.fs.write(self.name, size=self.size_bytes, owner="root")
+
+
+@dataclass
+class Template(ChefResource):
+    """A rendered configuration file (content derives from attributes)."""
+
+    variables: dict = field(default_factory=dict)
+    content: str = ""
+
+    def rendered(self) -> str:
+        text = self.content
+        for key, value in self.variables.items():
+            text = text.replace("{{" + key + "}}", str(value))
+        return text
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        existing = node.files.get(self.name)
+        return existing is not None and existing.get("content") == self.rendered()
+
+    def apply(self, node: "ChefNode") -> None:
+        body = self.rendered()
+        node.files[self.name] = {"content": body, "size": len(body)}
+        if node.fs is not None:
+            node.fs.write(self.name, data=body.encode(), owner="root")
+
+
+@dataclass
+class Service(ChefResource):
+    """A long-running daemon that must be enabled and started."""
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return node.services.get(self.name) == "running"
+
+    def apply(self, node: "ChefNode") -> None:
+        node.services[self.name] = "running"
+
+
+@dataclass
+class ServiceRestart(ChefResource):
+    """Explicit restart (never satisfied in advance; always runs)."""
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return False
+
+    def apply(self, node: "ChefNode") -> None:
+        node.services[self.name] = "running"
+        node.restarts[self.name] = node.restarts.get(self.name, 0) + 1
+
+
+@dataclass
+class Execute(ChefResource):
+    """An arbitrary command whose completion is recorded by marker key."""
+
+    command: str = ""
+    #: Marker recorded on the node once run; reruns are skipped if set.
+    creates: str = ""
+    effect: Optional[Callable[["ChefNode"], None]] = None
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        return bool(self.creates) and self.creates in node.markers
+
+    def apply(self, node: "ChefNode") -> None:
+        if self.creates:
+            node.markers.add(self.creates)
+        if self.effect is not None:
+            self.effect(node)
+
+
+@dataclass
+class ScmCheckout(ChefResource):
+    """A source checkout (the paper pulls the Galaxy fork from bitbucket)."""
+
+    repo_url: str = ""
+    revision: str = "default"
+
+    def is_satisfied(self, node: "ChefNode") -> bool:
+        existing = node.checkouts.get(self.name)
+        return existing == (self.repo_url, self.revision)
+
+    def apply(self, node: "ChefNode") -> None:
+        node.checkouts[self.name] = (self.repo_url, self.revision)

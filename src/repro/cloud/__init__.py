@@ -1,0 +1,58 @@
+"""Simulated Amazon EC2: instance catalog, control plane, billing, network.
+
+This is the substitution for the paper's real EC2 testbed — see DESIGN.md
+section 2 for the calibration rationale.
+"""
+
+from .ec2 import (
+    AMI,
+    EC2Error,
+    EC2Instance,
+    InstanceState,
+    InsufficientCapacity,
+    KeyPair,
+    MockEC2,
+)
+from .instance_types import ALIASES, CATALOG, InstanceType, resolve
+from .network import (
+    NetworkPath,
+    ProtocolModel,
+    TransferTooLarge,
+    aggregate_rate_bps,
+    ftp_model,
+    globus_model,
+    globus_streams_for,
+    http_model,
+    mathis_limit_bps,
+    slow_start_ramp_s,
+    stream_rate_bps,
+)
+from .pricing import BillingMeter, PriceBook, UsageInterval
+
+__all__ = [
+    "ALIASES",
+    "AMI",
+    "BillingMeter",
+    "CATALOG",
+    "EC2Error",
+    "EC2Instance",
+    "InstanceState",
+    "InstanceType",
+    "InsufficientCapacity",
+    "KeyPair",
+    "MockEC2",
+    "NetworkPath",
+    "PriceBook",
+    "ProtocolModel",
+    "TransferTooLarge",
+    "UsageInterval",
+    "aggregate_rate_bps",
+    "ftp_model",
+    "globus_model",
+    "globus_streams_for",
+    "http_model",
+    "mathis_limit_bps",
+    "resolve",
+    "slow_start_ramp_s",
+    "stream_rate_bps",
+]

@@ -1,0 +1,81 @@
+"""The 2012-era EC2 instance-type catalog used throughout the paper.
+
+Each type carries the hardware description Amazon published at the time
+(ECU, cores, memory) plus the two calibrated speed factors the simulation
+uses: ``cpu_factor`` (how fast CPU-bound work runs relative to m1.small)
+and ``io_factor`` (same for installation/staging I/O).  See
+:mod:`repro.calibration` for how the factors were fit to Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import calibration
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Immutable description of one EC2 instance type."""
+
+    name: str
+    ecu: float            # total EC2 Compute Units
+    cores: int
+    memory_gb: float
+    cpu_factor: float     # relative single-job compute speed (m1.small = 1)
+    io_factor: float      # relative install/staging speed   (m1.small = 1)
+    boot_latency_s: float
+
+    @property
+    def ecu_per_core(self) -> float:
+        return self.ecu / self.cores
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _mk(name: str, ecu: float, cores: int, memory_gb: float) -> InstanceType:
+    return InstanceType(
+        name=name,
+        ecu=ecu,
+        cores=cores,
+        memory_gb=memory_gb,
+        cpu_factor=calibration.CPU_FACTORS[name],
+        io_factor=calibration.IO_FACTORS[name],
+        boot_latency_s=calibration.BOOT_LATENCY_S[name],
+    )
+
+
+#: The catalog, keyed by API name.  These are the five types the paper
+#: mentions: t1.micro "suitable for testing", c1.medium "good for demos",
+#: m1.large "high performance", plus m1.small and m1.xlarge from Fig. 10.
+CATALOG: dict[str, InstanceType] = {
+    t.name: t
+    for t in [
+        _mk("t1.micro", ecu=0.5, cores=1, memory_gb=0.613),
+        _mk("m1.small", ecu=1.0, cores=1, memory_gb=1.7),
+        _mk("c1.medium", ecu=5.0, cores=2, memory_gb=1.7),
+        _mk("m1.large", ecu=4.0, cores=2, memory_gb=7.5),
+        _mk("m1.xlarge", ecu=8.0, cores=4, memory_gb=15.0),
+    ]
+}
+
+#: Friendly aliases used in the paper's prose ("small", "extra-large", ...).
+ALIASES = {
+    "micro": "t1.micro",
+    "small": "m1.small",
+    "medium": "c1.medium",
+    "large": "m1.large",
+    "xlarge": "m1.xlarge",
+    "extra-large": "m1.xlarge",
+}
+
+
+def resolve(name: str) -> InstanceType:
+    """Look up an instance type by API name or prose alias."""
+    key = ALIASES.get(name.lower(), name)
+    try:
+        return CATALOG[key]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown instance type {name!r}; known: {known}") from None

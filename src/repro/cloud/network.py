@@ -1,0 +1,179 @@
+"""Analytic network model: TCP throughput over a WAN path.
+
+The transfer subsystems (GridFTP, FTP, HTTP upload) share one model:
+
+* per-stream steady rate = ``min(window/RTT, Mathis limit, fair share of
+  the bottleneck)`` where the Mathis limit is
+  ``MSS / (RTT * sqrt(loss)) * C`` — the classic loss-constrained TCP
+  throughput formula;
+* a transfer of ``size`` bytes takes
+  ``overhead + slow_start_ramp + size / steady_rate + n_chunks * chunk_cost``.
+
+Only the parameters differ per protocol (see :mod:`repro.calibration`),
+which is exactly the paper's story: Globus Transfer wins because it uses
+parallel tuned streams and avoids Galaxy's per-request handling costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import calibration
+
+
+class TransferTooLarge(Exception):
+    """The protocol refuses files over its size cap (Galaxy HTTP: 2 GB)."""
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """A WAN path characterised by RTT, loss rate and bottleneck capacity."""
+
+    rtt_s: float
+    loss: float
+    bottleneck_bps: float
+
+    def __post_init__(self) -> None:
+        if self.rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+        if not (0.0 < self.loss < 1.0):
+            raise ValueError("loss must be in (0, 1)")
+        if self.bottleneck_bps <= 0:
+            raise ValueError("bottleneck must be positive")
+
+    @classmethod
+    def paper_wan(cls) -> "NetworkPath":
+        """Laptop -> EC2 path calibrated for Fig. 11."""
+        return cls(
+            rtt_s=calibration.WAN_RTT_S,
+            loss=calibration.WAN_LOSS,
+            bottleneck_bps=calibration.WAN_BOTTLENECK_BPS,
+        )
+
+    @classmethod
+    def lan(cls) -> "NetworkPath":
+        """Intra-cluster path (EC2 availability zone)."""
+        return cls(rtt_s=0.0005, loss=1e-6, bottleneck_bps=1e9)
+
+
+def mathis_limit_bps(
+    path: NetworkPath,
+    mss_bytes: int = calibration.TCP_MSS_BYTES,
+    c: float = calibration.MATHIS_C,
+) -> float:
+    """Loss-bounded steady-state TCP throughput (Mathis et al. 1997)."""
+    return mss_bytes * 8.0 / path.rtt_s * c / math.sqrt(path.loss)
+
+
+def stream_rate_bps(path: NetworkPath, window_bytes: int) -> float:
+    """Steady throughput of one TCP stream with a given window."""
+    window_limit = window_bytes * 8.0 / path.rtt_s
+    return min(window_limit, mathis_limit_bps(path), path.bottleneck_bps)
+
+
+def aggregate_rate_bps(path: NetworkPath, streams: int, window_bytes: int) -> float:
+    """Steady throughput of ``streams`` parallel TCP streams."""
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    unconstrained = min(
+        window_bytes * 8.0 / path.rtt_s, mathis_limit_bps(path)
+    )
+    return min(streams * unconstrained, path.bottleneck_bps)
+
+
+def slow_start_ramp_s(
+    path: NetworkPath,
+    window_bytes: int,
+    mss_bytes: int = calibration.TCP_MSS_BYTES,
+) -> float:
+    """Time to grow the congestion window from one MSS to ``window_bytes``.
+
+    One RTT per doubling — the standard textbook approximation.
+    """
+    doublings = max(0.0, math.log2(max(1.0, window_bytes / mss_bytes)))
+    return doublings * path.rtt_s
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """Transfer-time model for one protocol (streams + overheads)."""
+
+    name: str
+    streams: int
+    window_bytes: int
+    overhead_s: float = 0.0
+    chunk_bytes: int = 0          # 0 => no per-chunk penalty
+    seconds_per_chunk: float = 0.0
+    max_bytes: Optional[int] = None
+
+    def steady_rate_bps(self, path: NetworkPath) -> float:
+        return aggregate_rate_bps(path, self.streams, self.window_bytes)
+
+    def transfer_seconds(self, path: NetworkPath, size_bytes: int) -> float:
+        """Wall time to move ``size_bytes`` over ``path``."""
+        if size_bytes < 0:
+            raise ValueError("size must be >= 0")
+        if self.max_bytes is not None and size_bytes > self.max_bytes:
+            raise TransferTooLarge(
+                f"{self.name}: {size_bytes} bytes exceeds the "
+                f"{self.max_bytes}-byte limit"
+            )
+        t = self.overhead_s + slow_start_ramp_s(path, self.window_bytes)
+        if size_bytes:
+            t += size_bytes * 8.0 / self.steady_rate_bps(path)
+            if self.chunk_bytes and self.seconds_per_chunk:
+                n_chunks = math.ceil(size_bytes / self.chunk_bytes)
+                t += n_chunks * self.seconds_per_chunk
+        return t
+
+    def effective_rate_mbps(self, path: NetworkPath, size_bytes: int) -> float:
+        """Average achieved rate in Mbit/s, the quantity Fig. 11 plots."""
+        seconds = self.transfer_seconds(path, size_bytes)
+        if seconds == 0.0:
+            return 0.0
+        return size_bytes * 8.0 / seconds / 1e6
+
+
+def globus_streams_for(size_bytes: int) -> int:
+    """Globus Transfer's auto-tuning: more streams for bigger files."""
+    mb = size_bytes / calibration.MB
+    if mb < 32:
+        return max(1, calibration.GO_AUTOTUNE_MIN_STREAMS)
+    if mb < 128:
+        return 2
+    return calibration.GO_STREAMS
+
+
+def globus_model(size_bytes: int) -> ProtocolModel:
+    """The tuned GridFTP model Globus Transfer uses for one file."""
+    return ProtocolModel(
+        name="globus-transfer",
+        streams=globus_streams_for(size_bytes),
+        window_bytes=calibration.GO_WINDOW_BYTES,
+        overhead_s=calibration.GO_OVERHEAD_S,
+    )
+
+
+def ftp_model() -> ProtocolModel:
+    """Galaxy's FTP upload path (stock TCP + import-scan latency)."""
+    return ProtocolModel(
+        name="ftp",
+        streams=1,
+        window_bytes=calibration.FTP_WINDOW_BYTES,
+        overhead_s=calibration.FTP_OVERHEAD_S,
+    )
+
+
+def http_model() -> ProtocolModel:
+    """Galaxy's HTTP form upload (synchronous chunk handling, 2 GB cap)."""
+    return ProtocolModel(
+        name="http",
+        streams=1,
+        window_bytes=calibration.FTP_WINDOW_BYTES,
+        overhead_s=calibration.HTTP_OVERHEAD_S,
+        chunk_bytes=calibration.HTTP_CHUNK_BYTES,
+        seconds_per_chunk=calibration.HTTP_SECONDS_PER_CHUNK,
+        max_bytes=calibration.HTTP_MAX_BYTES,
+    )

@@ -1,0 +1,47 @@
+"""Cluster substrate: Condor pool, NFS shared filesystem, NIS users, nodes."""
+
+from .condor import (
+    CondorError,
+    CondorJob,
+    CondorPool,
+    JobState,
+    MachineAd,
+    Schedd,
+    Startd,
+)
+from .nfs import (
+    FileNode,
+    FilesystemError,
+    Mount,
+    MountTable,
+    NFSServer,
+    SimFilesystem,
+)
+from .nis import NISBinding, NISDomain, NISError, NISGroup, NISUser
+from .node import ClusterNode
+from .shell import CommandResult, RemoteShell, SSHError
+
+__all__ = [
+    "ClusterNode",
+    "CommandResult",
+    "CondorError",
+    "CondorJob",
+    "CondorPool",
+    "FileNode",
+    "FilesystemError",
+    "JobState",
+    "MachineAd",
+    "Mount",
+    "MountTable",
+    "NFSServer",
+    "NISBinding",
+    "NISDomain",
+    "NISError",
+    "NISGroup",
+    "NISUser",
+    "RemoteShell",
+    "SSHError",
+    "Schedd",
+    "SimFilesystem",
+    "Startd",
+]

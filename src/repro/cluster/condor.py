@@ -1,0 +1,400 @@
+"""A Condor-like high-throughput scheduler: matchmaking over a dynamic pool.
+
+The paper deploys Galaxy with a Condor head node managing "a set of Condor
+worker nodes in a dynamic Condor pool.  In this model Galaxy jobs are
+transparently assigned to Condor worker nodes for parallel execution"
+(Sec. III-B), and the use case's speed-up comes from adding a faster
+worker at runtime.  The pieces implemented here mirror Condor's daemons:
+
+* **MachineAd / Startd** — a machine advertises slots (one per core);
+* **Schedd** — the per-cluster job queue;
+* **Negotiator** — a periodic matchmaking cycle assigning idle jobs to
+  free slots: job *requirements* filter machines, job *rank* (default:
+  fastest machine) orders them;
+* **CondorPool** — the collector/facade wiring it together, with dynamic
+  add/remove (drain or evict) of workers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .. import calibration
+from ..simcore import Interrupt, SimContext, SimEvent
+from .node import ClusterNode
+
+Requirements = Callable[["MachineAd"], bool]
+Rank = Callable[["MachineAd"], float]
+
+
+class JobState(str, enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REMOVED = "removed"
+    HELD = "held"
+
+
+class CondorError(Exception):
+    pass
+
+
+@dataclass
+class MachineAd:
+    """What a startd advertises to the collector."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    cpu_factor: float
+    io_factor: float = 1.0
+    node: Optional[ClusterNode] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CondorJob:
+    """One queued unit of work.
+
+    ``cpu_work`` is in m1.small-seconds; actual runtime is
+    ``cpu_work / machine.cpu_factor``.  ``on_complete`` lets the submitter
+    (Galaxy's Condor runner) attach real computation to the simulated job.
+    """
+
+    id: int
+    owner: str
+    cpu_work: float
+    io_work: float = 0.0
+    req_memory_gb: float = 0.0
+    requirements: Optional[Requirements] = None
+    rank: Optional[Rank] = None
+    on_complete: Optional[Callable[["CondorJob"], None]] = None
+    state: JobState = JobState.IDLE
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    machine_name: Optional[str] = None
+    evictions: int = 0
+    completed: Optional[SimEvent] = None  # fires when COMPLETED
+
+    def matches(self, machine: MachineAd) -> bool:
+        if self.req_memory_gb > machine.memory_gb:
+            return False
+        if self.requirements is not None and not self.requirements(machine):
+            return False
+        return True
+
+    def rank_of(self, machine: MachineAd) -> float:
+        return self.rank(machine) if self.rank is not None else machine.cpu_factor
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        return None if self.start_time is None else self.start_time - self.submit_time
+
+
+class Startd:
+    """Machine daemon executing claimed jobs, one per slot."""
+
+    def __init__(self, ctx: SimContext, machine: MachineAd) -> None:
+        self.ctx = ctx
+        self.machine = machine
+        self.busy: dict[int, CondorJob] = {}  # slot id -> job
+        self.draining = False
+        self._run_procs: dict[int, Any] = {}
+        self._drained_event: Optional[SimEvent] = None
+
+    @property
+    def free_slots(self) -> int:
+        if self.draining:
+            return 0
+        return self.machine.cores - len(self.busy)
+
+    def claim(self, job: CondorJob, pool: "CondorPool") -> None:
+        if self.free_slots < 1:
+            raise CondorError(f"{self.machine.name} has no free slot")
+        slot = next(i for i in range(self.machine.cores) if i not in self.busy)
+        self.busy[slot] = job
+        job.state = JobState.RUNNING
+        job.start_time = self.ctx.now
+        job.machine_name = self.machine.name
+        self.ctx.log(
+            "condor", "match", job=job.id, machine=self.machine.name, slot=slot
+        )
+        self._run_procs[slot] = self.ctx.sim.process(
+            self._run(slot, job, pool), name=f"startd-{self.machine.name}-{slot}"
+        )
+
+    def _run(self, slot: int, job: CondorJob, pool: "CondorPool"):
+        duration = (
+            job.cpu_work / self.machine.cpu_factor
+            + job.io_work / self.machine.io_factor
+        )
+        try:
+            yield self.ctx.sim.timeout(duration)
+        except Interrupt:
+            del self.busy[slot]
+            self._run_procs.pop(slot, None)
+            if job.state == JobState.REMOVED:
+                # condor_rm while running: free the slot, nothing to rematch
+                self.ctx.log("condor", "removed", job=job.id, machine=self.machine.name)
+            else:
+                # Evicted: job goes back to idle for rematching.
+                job.state = JobState.IDLE
+                job.machine_name = None
+                job.start_time = None
+                job.evictions += 1
+                self.ctx.log("condor", "evict", job=job.id, machine=self.machine.name)
+            pool._wake_negotiator()
+            self._check_drained()
+            return
+        del self.busy[slot]
+        self._run_procs.pop(slot, None)
+        job.state = JobState.COMPLETED
+        job.end_time = self.ctx.now
+        if job.on_complete is not None:
+            job.on_complete(job)
+        if job.completed is not None and not job.completed.triggered:
+            job.completed.succeed(job)
+        self.ctx.log("condor", "complete", job=job.id, machine=self.machine.name)
+        pool._job_finished(job)
+        self._check_drained()
+
+    def evict_all(self) -> None:
+        for proc in list(self._run_procs.values()):
+            proc.interrupt("machine removed")
+
+    def drain(self) -> SimEvent:
+        """Stop matching new jobs; event fires when the last job finishes."""
+        self.draining = True
+        if self._drained_event is None:
+            self._drained_event = self.ctx.sim.event()
+        self._check_drained()
+        return self._drained_event
+
+    def _check_drained(self) -> None:
+        if self.draining and not self.busy and self._drained_event is not None:
+            if not self._drained_event.triggered:
+                self._drained_event.succeed(self.machine.name)
+
+
+class Schedd:
+    """The job queue."""
+
+    def __init__(self) -> None:
+        self.jobs: dict[int, CondorJob] = {}
+        self._next_id = 1
+
+    def submit(self, job_kwargs: dict, ctx: SimContext) -> CondorJob:
+        job = CondorJob(id=self._next_id, submit_time=ctx.now, **job_kwargs)
+        job.completed = ctx.sim.event()
+        self._next_id += 1
+        self.jobs[job.id] = job
+        return job
+
+    def idle_jobs(self) -> list[CondorJob]:
+        return sorted(
+            (j for j in self.jobs.values() if j.state == JobState.IDLE),
+            key=lambda j: (j.submit_time, j.id),
+        )
+
+    def remove(self, job_id: int) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise CondorError(f"no such job {job_id}")
+        if job.state == JobState.RUNNING:
+            raise CondorError("evict via the pool before removing a running job")
+        job.state = JobState.REMOVED
+
+
+class CondorPool:
+    """Collector + negotiator + schedd: the pool facade Galaxy talks to."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        negotiation_interval_s: float = calibration.CONDOR_NEGOTIATION_INTERVAL_S,
+        fair_share: bool = True,
+    ) -> None:
+        self.ctx = ctx
+        self.interval = negotiation_interval_s
+        #: when True, idle jobs of lighter users match first (Condor's
+        #: user-priority fair share, simplified to accumulated usage)
+        self.fair_share = fair_share
+        self.usage_by_owner: dict[str, float] = {}
+        self.schedd = Schedd()
+        self.startds: dict[str, Startd] = {}
+        self._kick: Optional[SimEvent] = None
+        self._stopped = False
+        self._negotiator = ctx.sim.process(self._negotiate_loop(), name="negotiator")
+
+    # -- pool membership -----------------------------------------------------
+    def add_node(self, node: ClusterNode, cores: Optional[int] = None) -> Startd:
+        """Register a ClusterNode as an execute machine."""
+        ad = MachineAd(
+            name=node.name,
+            cores=cores if cores is not None else node.cores,
+            memory_gb=node.memory_gb,
+            cpu_factor=node.cpu_factor,
+            io_factor=node.io_factor,
+            node=node,
+        )
+        return self.add_machine(ad)
+
+    def add_machine(self, machine: MachineAd) -> Startd:
+        if machine.name in self.startds:
+            raise CondorError(f"machine {machine.name!r} already in pool")
+        startd = Startd(self.ctx, machine)
+        self.startds[machine.name] = startd
+        self.ctx.log("condor", "startd-join", machine=machine.name, cores=machine.cores)
+        self._wake_negotiator()
+        return startd
+
+    def remove_machine(self, name: str, drain: bool = True) -> SimEvent:
+        """Remove a machine; returns an event firing once it is gone.
+
+        ``drain=True`` lets running jobs finish; ``drain=False`` evicts them
+        (they go back to idle and are rematched elsewhere).
+        """
+        startd = self.startds.get(name)
+        if startd is None:
+            raise CondorError(f"machine {name!r} not in pool")
+        done = self.ctx.sim.event()
+        if drain:
+            drained = startd.drain()
+
+            def _finish(_ev: SimEvent) -> None:
+                self.startds.pop(name, None)
+                self.ctx.log("condor", "startd-leave", machine=name)
+                done.succeed(name)
+
+            if drained.processed:
+                _finish(drained)
+            else:
+                drained.callbacks.append(_finish)
+        else:
+            startd.draining = True
+            startd.evict_all()
+            self.startds.pop(name, None)
+            self.ctx.log("condor", "startd-leave", machine=name, evicted=True)
+            done.succeed(name)
+        return done
+
+    # -- submission ------------------------------------------------------------
+    def submit(
+        self,
+        cpu_work: float,
+        owner: str = "nobody",
+        io_work: float = 0.0,
+        req_memory_gb: float = 0.0,
+        requirements: Optional[Requirements] = None,
+        rank: Optional[Rank] = None,
+        on_complete: Optional[Callable[[CondorJob], None]] = None,
+    ) -> CondorJob:
+        if cpu_work < 0 or io_work < 0:
+            raise CondorError("cpu_work/io_work must be >= 0")
+        job = self.schedd.submit(
+            dict(
+                owner=owner,
+                cpu_work=cpu_work,
+                io_work=io_work,
+                req_memory_gb=req_memory_gb,
+                requirements=requirements,
+                rank=rank,
+                on_complete=on_complete,
+            ),
+            self.ctx,
+        )
+        self.ctx.log("condor", "submit", job=job.id, owner=owner, work=cpu_work)
+        self._wake_negotiator()
+        return job
+
+    def when_done(self, job: CondorJob) -> SimEvent:
+        assert job.completed is not None
+        return job.completed
+
+    def remove_job(self, job: CondorJob) -> None:
+        """``condor_rm``: drop a queued job, or kill a running one."""
+        if job.state in (JobState.COMPLETED, JobState.REMOVED):
+            raise CondorError(f"job {job.id} is already {job.state.value}")
+        was_running = job.state == JobState.RUNNING
+        job.state = JobState.REMOVED
+        job.end_time = self.ctx.now
+        if was_running:
+            for startd in self.startds.values():
+                for slot, running in list(startd.busy.items()):
+                    if running is job:
+                        startd._run_procs[slot].interrupt("condor_rm")
+        self.ctx.log("condor", "rm", job=job.id)
+
+    # -- stats -------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.schedd.idle_jobs())
+
+    @property
+    def running_count(self) -> int:
+        return sum(len(s.busy) for s in self.startds.values())
+
+    @property
+    def total_slots(self) -> int:
+        return sum(s.machine.cores for s in self.startds.values() if not s.draining)
+
+    def machine_names(self) -> list[str]:
+        return sorted(self.startds)
+
+    def _job_finished(self, job: CondorJob) -> None:
+        self.usage_by_owner[job.owner] = (
+            self.usage_by_owner.get(job.owner, 0.0) + job.cpu_work + job.io_work
+        )
+        # A slot freed up: try to match the next idle job right away.
+        self._wake_negotiator()
+
+    # -- negotiation --------------------------------------------------------------
+    def shutdown(self) -> None:
+        self._stopped = True
+        self._wake_negotiator()
+
+    def _wake_negotiator(self) -> None:
+        if self._kick is not None and not self._kick.triggered:
+            self._kick.succeed()
+
+    def _negotiate_loop(self):
+        while not self._stopped:
+            self._negotiation_cycle()
+            self._kick = self.ctx.sim.event()
+            if self.schedd.idle_jobs():
+                # Unmatched work pending: retry next cycle, or earlier on a
+                # submission/join/slot-free kick.
+                yield self.ctx.sim.any_of(
+                    [self.ctx.sim.timeout(self.interval), self._kick]
+                )
+            else:
+                # Nothing to match: sleep until kicked.  Crucially this
+                # leaves no timer on the queue, so an idle simulation can
+                # drain to completion.
+                yield self._kick
+        self._kick = None
+
+    def _negotiation_cycle(self) -> None:
+        idle = self.schedd.idle_jobs()
+        if self.fair_share:
+            idle.sort(
+                key=lambda j: (
+                    self.usage_by_owner.get(j.owner, 0.0), j.submit_time, j.id,
+                )
+            )
+        for job in idle:
+            candidates = [
+                s
+                for s in self.startds.values()
+                if s.free_slots > 0 and job.matches(s.machine)
+            ]
+            if not candidates:
+                continue
+            best = max(
+                candidates,
+                key=lambda s: (job.rank_of(s.machine), -len(s.busy), s.machine.name),
+            )
+            best.claim(job, self)

@@ -1,0 +1,119 @@
+"""Simulated NIS (Network Information Service): cluster-wide user directory.
+
+GP "generates user accounts ... and sets up NIS to provide a robust shared
+file system across nodes" (Sec. III-A).  Here NIS owns the authoritative
+user/group maps; nodes *bind* to a domain and resolve users through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class NISError(Exception):
+    pass
+
+
+@dataclass
+class NISUser:
+    name: str
+    uid: int
+    home: str
+    shell: str = "/bin/bash"
+    groups: tuple[str, ...] = ()
+
+
+@dataclass
+class NISGroup:
+    name: str
+    gid: int
+    members: set[str] = field(default_factory=set)
+
+
+class NISDomain:
+    """One NIS domain served by the simple-server node."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.users: dict[str, NISUser] = {}
+        self.groups: dict[str, NISGroup] = {}
+        self._next_uid = 1000
+        self._next_gid = 1000
+        self.add_group("users")
+
+    def add_group(self, name: str) -> NISGroup:
+        if name in self.groups:
+            raise NISError(f"group {name!r} exists")
+        group = NISGroup(name=name, gid=self._next_gid)
+        self._next_gid += 1
+        self.groups[name] = group
+        return group
+
+    def add_user(
+        self, name: str, home: Optional[str] = None, groups: tuple[str, ...] = ("users",)
+    ) -> NISUser:
+        if name in self.users:
+            raise NISError(f"user {name!r} exists")
+        for g in groups:
+            if g not in self.groups:
+                raise NISError(f"no such group {g!r}")
+        user = NISUser(
+            name=name,
+            uid=self._next_uid,
+            home=home or f"/home/{name}",
+            groups=tuple(groups),
+        )
+        self._next_uid += 1
+        self.users[name] = user
+        for g in groups:
+            self.groups[g].members.add(name)
+        return user
+
+    def remove_user(self, name: str) -> None:
+        user = self.users.pop(name, None)
+        if user is None:
+            raise NISError(f"no such user {name!r}")
+        for g in user.groups:
+            self.groups[g].members.discard(name)
+
+    def lookup(self, name: str) -> NISUser:
+        try:
+            return self.users[name]
+        except KeyError:
+            raise NISError(f"no such user {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.users
+
+
+class NISBinding:
+    """A node's view of user accounts: local accounts shadow NIS."""
+
+    def __init__(self, domain: Optional[NISDomain] = None) -> None:
+        self.domain = domain
+        self.local: dict[str, NISUser] = {}
+        self._next_local_uid = 1
+
+    def bind(self, domain: NISDomain) -> None:
+        self.domain = domain
+
+    def add_local(self, name: str, home: Optional[str] = None) -> NISUser:
+        user = NISUser(name=name, uid=self._next_local_uid, home=home or f"/home/{name}")
+        self._next_local_uid += 1
+        self.local[name] = user
+        return user
+
+    def lookup(self, name: str) -> NISUser:
+        if name in self.local:
+            return self.local[name]
+        if self.domain is not None and name in self.domain:
+            return self.domain.lookup(name)
+        raise NISError(f"unknown user {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.lookup(name)
+            return True
+        except NISError:
+            return False

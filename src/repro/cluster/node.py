@@ -1,0 +1,86 @@
+"""ClusterNode: one host of a GP instance, tying all per-host state together.
+
+A node combines the EC2 instance (hardware + lifecycle), the Chef view
+(converged software), a local filesystem plus mount table (NFS), and an
+NIS binding (users).  The deployer creates these; Condor, Galaxy and
+GridFTP all hang services off them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..chef import ChefNode
+from ..cloud import EC2Instance
+from .nfs import MountTable, SimFilesystem
+from .nis import NISBinding
+
+
+@dataclass
+class ClusterNode:
+    """One deployed host."""
+
+    name: str
+    instance: EC2Instance
+    chef: ChefNode
+    local_fs: SimFilesystem
+    vfs: MountTable
+    nis: NISBinding = field(default_factory=NISBinding)
+    roles: set[str] = field(default_factory=set)
+    #: live service objects keyed by name ("condor-startd", "gridftp", ...)
+    services: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls, name: str, instance: EC2Instance, roles: Optional[set[str]] = None
+    ) -> "ClusterNode":
+        local_fs = SimFilesystem(name=f"{name}.local")
+        chef = ChefNode(
+            name=name,
+            cpu_factor=instance.itype.cpu_factor,
+            io_factor=instance.itype.io_factor,
+            preloaded=instance.ami.preloaded,
+            fs=local_fs,
+        )
+        # a snapshotted AMI carries converged Chef state on its disk
+        chef.markers |= set(instance.ami.baked_markers)
+        chef.checkouts.update(dict(instance.ami.baked_checkouts))
+        return cls(
+            name=name,
+            instance=instance,
+            chef=chef,
+            local_fs=local_fs,
+            vfs=MountTable(local_fs),
+            roles=set(roles or ()),
+        )
+
+    @property
+    def hostname(self) -> str:
+        return self.instance.public_dns
+
+    @property
+    def instance_type(self) -> str:
+        return self.instance.instance_type
+
+    @property
+    def cpu_factor(self) -> float:
+        return self.instance.itype.cpu_factor
+
+    @property
+    def io_factor(self) -> float:
+        return self.instance.itype.io_factor
+
+    @property
+    def cores(self) -> int:
+        return self.instance.itype.cores
+
+    @property
+    def memory_gb(self) -> float:
+        return self.instance.itype.memory_gb
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ClusterNode {self.name} ({self.instance_type}) roles={sorted(self.roles)}>"

@@ -1,0 +1,117 @@
+"""SSH access to deployed hosts (Fig. 1 step 5).
+
+"When the GP instance is running, users can connect to any of its hosts
+via SSH."  :class:`RemoteShell` is the simulated session: it checks the
+keypair and the user account, then answers a small command vocabulary
+against the node's real state (filesystem, services, Condor pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .condor import CondorPool
+from .nis import NISError
+from .node import ClusterNode
+
+
+class SSHError(Exception):
+    pass
+
+
+@dataclass
+class CommandResult:
+    command: str
+    exit_code: int
+    stdout: str
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+class RemoteShell:
+    """One authenticated session on one node."""
+
+    def __init__(
+        self,
+        node: ClusterNode,
+        username: str,
+        pool: Optional[CondorPool] = None,
+    ) -> None:
+        self.node = node
+        self.username = username
+        self.pool = pool
+        try:
+            self.user = node.nis.lookup(username)
+        except NISError as exc:
+            raise SSHError(f"Permission denied ({username}@{node.hostname})") from exc
+        self.cwd = self.user.home
+
+    # -- the command vocabulary -------------------------------------------------
+    def run(self, command: str) -> CommandResult:
+        parts = command.split()
+        if not parts:
+            return CommandResult(command, 0, "")
+        handler = getattr(self, f"_cmd_{parts[0].replace('-', '_')}", None)
+        if handler is None:
+            return CommandResult(command, 127, f"{parts[0]}: command not found")
+        return handler(command, parts[1:])
+
+    def _cmd_hostname(self, command, args) -> CommandResult:
+        return CommandResult(command, 0, self.node.hostname)
+
+    def _cmd_whoami(self, command, args) -> CommandResult:
+        return CommandResult(command, 0, self.username)
+
+    def _cmd_pwd(self, command, args) -> CommandResult:
+        return CommandResult(command, 0, self.cwd)
+
+    def _cmd_ls(self, command, args) -> CommandResult:
+        path = args[0] if args else self.cwd
+        if not path.startswith("/"):
+            path = f"{self.cwd.rstrip('/')}/{path}"
+        try:
+            entries = self.node.vfs.listdir(path)
+        except Exception as exc:
+            return CommandResult(command, 2, f"ls: {exc}")
+        return CommandResult(command, 0, "\n".join(entries))
+
+    def _cmd_cat(self, command, args) -> CommandResult:
+        if not args:
+            return CommandResult(command, 1, "cat: missing operand")
+        try:
+            data = self.node.vfs.read(args[0])
+        except Exception as exc:
+            return CommandResult(command, 1, f"cat: {exc}")
+        return CommandResult(command, 0, data.decode("utf-8", errors="replace"))
+
+    def _cmd_condor_status(self, command, args) -> CommandResult:
+        if self.pool is None:
+            return CommandResult(command, 1, "condor_status: no pool configured")
+        lines = ["Name            Slots  Busy  CpuFactor"]
+        for name in self.pool.machine_names():
+            startd = self.pool.startds[name]
+            lines.append(
+                f"{name:15s} {startd.machine.cores:5d} {len(startd.busy):5d} "
+                f"{startd.machine.cpu_factor:9.2f}"
+            )
+        return CommandResult(command, 0, "\n".join(lines))
+
+    def _cmd_condor_q(self, command, args) -> CommandResult:
+        if self.pool is None:
+            return CommandResult(command, 1, "condor_q: no pool configured")
+        lines = ["ID   Owner      State"]
+        for job in self.pool.schedd.jobs.values():
+            lines.append(f"{job.id:<4d} {job.owner:10s} {job.state.value}")
+        return CommandResult(command, 0, "\n".join(lines))
+
+    def _cmd_service(self, command, args) -> CommandResult:
+        # "service <name> status"
+        if len(args) != 2 or args[1] != "status":
+            return CommandResult(command, 1, "usage: service <name> status")
+        state = self.node.chef.services.get(args[0])
+        if state is None:
+            return CommandResult(command, 3, f"{args[0]}: unrecognized service")
+        return CommandResult(command, 0, f"{args[0]} is {state}")

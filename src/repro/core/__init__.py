@@ -1,0 +1,41 @@
+"""The paper's contribution: Galaxy deployed and scaled on clouds via GP.
+
+This package glues the substrates together: the Chef cookbooks for the
+Galaxy/Globus/CRData stack (:mod:`repro.core.recipes`), the simulated
+world (:mod:`repro.core.testbed`), the Sec. V-A use-case driver
+(:mod:`repro.core.usecase`) and the elastic-scaling extension
+(:mod:`repro.core.elastic`).
+"""
+
+from .elastic import ElasticScaler, ScalerEvent, ScalerPolicy
+from .recipes import (
+    GALAXY_HEAD_RUN_LIST,
+    build_galaxy_cookbook,
+    build_globus_cookbook,
+    build_repository,
+)
+from .testbed import (
+    AFFY_CEL_PATH,
+    CVRG_DATA_ENDPOINT,
+    FOUR_CEL_PATH,
+    CloudTestbed,
+)
+from .usecase import UseCaseError, UseCaseResult, run_usecase, usecase_topology
+
+__all__ = [
+    "AFFY_CEL_PATH",
+    "CVRG_DATA_ENDPOINT",
+    "CloudTestbed",
+    "ElasticScaler",
+    "FOUR_CEL_PATH",
+    "GALAXY_HEAD_RUN_LIST",
+    "ScalerEvent",
+    "ScalerPolicy",
+    "UseCaseError",
+    "UseCaseResult",
+    "build_galaxy_cookbook",
+    "build_globus_cookbook",
+    "build_repository",
+    "run_usecase",
+    "usecase_topology",
+]

@@ -1,0 +1,158 @@
+"""Elastic scaling: reacting to workload by reshaping the GP topology.
+
+Sec. III-C: "the deployed workflow environment can be modified to respond
+to workload changes by elastically adding or removing nodes from the
+cluster and changing instance sizes to balance cost and performance."
+The paper does this manually (``gp-instance-update``); its conclusion
+lists automation as future work.  :class:`ElasticScaler` implements that
+extension: a control loop watching the Condor queue that grows the pool
+under backlog and shrinks it when idle, always through the same topology
+-update path a human would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..provision.instance import GlobusProvision
+from ..provision.topology import with_extra_worker
+
+
+@dataclass
+class ScalerPolicy:
+    """When to add or remove workers."""
+
+    check_interval_s: float = 60.0
+    #: add a worker when idle jobs exceed this for one check
+    scale_up_queue_depth: int = 2
+    #: remove a worker after this many consecutive fully-idle checks
+    scale_down_idle_checks: int = 5
+    min_workers: int = 1
+    max_workers: int = 8
+    worker_instance_type: str = "c1.medium"
+
+
+@dataclass
+class ScalerEvent:
+    time: float
+    action: str         # "scale-up" | "scale-down"
+    workers: int
+    queue_depth: int
+
+
+class ElasticScaler:
+    """Autoscaler bound to one running GP instance's single domain."""
+
+    def __init__(
+        self,
+        gp: GlobusProvision,
+        instance_id: str,
+        domain: str = "simple",
+        policy: ScalerPolicy | None = None,
+    ) -> None:
+        self.gp = gp
+        self.instance_id = instance_id
+        self.domain = domain
+        self.policy = policy or ScalerPolicy()
+        self.events: list[ScalerEvent] = []
+        self._idle_checks = 0
+        self._proc = None
+        self._stopping = False
+        self._stop_event = None
+
+    # -- control -----------------------------------------------------------------
+    def start(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            return
+        ctx = self.gp.bed.ctx
+        self._stopping = False
+        self._proc = ctx.sim.process(self._loop(), name="elastic-scaler")
+
+    def stop(self) -> None:
+        """Ask the control loop to exit at its next wakeup."""
+        self._stopping = True
+        if self._stop_event is not None and not self._stop_event.triggered:
+            self._stop_event.succeed()
+
+    # -- internals ------------------------------------------------------------------
+    @property
+    def _deployment(self):
+        return self.gp.get(self.instance_id).deployment
+
+    def worker_count(self) -> int:
+        return len(self._deployment.worker_nodes(self.domain))
+
+    def _loop(self):
+        ctx = self.gp.bed.ctx
+        policy = self.policy
+        while not self._stopping:
+            self._stop_event = ctx.sim.event()
+            yield ctx.sim.any_of(
+                [ctx.sim.timeout(policy.check_interval_s), self._stop_event]
+            )
+            if self._stopping:
+                return
+            gpi = self.gp.get(self.instance_id)
+            if gpi.deployment is None or gpi.state.value != "Running":
+                continue
+            pool = gpi.deployment.pool
+            depth = pool.queue_depth
+            workers = self.worker_count()
+            if depth >= policy.scale_up_queue_depth and workers < policy.max_workers:
+                self._idle_checks = 0
+                yield from self._scale_up(depth)
+            elif depth == 0 and pool.running_count == 0:
+                self._idle_checks += 1
+                if (
+                    self._idle_checks >= policy.scale_down_idle_checks
+                    and workers > policy.min_workers
+                ):
+                    yield from self._scale_down(depth)
+                    self._idle_checks = 0
+            else:
+                self._idle_checks = 0
+
+    def _scale_up(self, depth: int):
+        new_topology = with_extra_worker(
+            self.gp.get(self.instance_id).topology,
+            self.domain,
+            self.policy.worker_instance_type,
+        )
+        yield from self.gp.update(self.instance_id, new_topology)
+        self.events.append(
+            ScalerEvent(
+                time=self.gp.bed.ctx.now,
+                action="scale-up",
+                workers=self.worker_count(),
+                queue_depth=depth,
+            )
+        )
+
+    def _scale_down(self, depth: int):
+        gpi = self.gp.get(self.instance_id)
+        topo = gpi.topology
+        dom = topo.domain(self.domain)
+        types = dom.worker_types(topo.ec2.instance_type)
+        from dataclasses import replace
+
+        new_dom = replace(
+            dom,
+            cluster_nodes=dom.cluster_nodes - 1,
+            worker_instance_types=types[:-1],
+        )
+        new_topology = replace(
+            topo,
+            domains=tuple(new_dom if d.name == dom.name else d for d in topo.domains),
+        )
+        yield from self.gp.update(self.instance_id, new_topology)
+        self.events.append(
+            ScalerEvent(
+                time=self.gp.bed.ctx.now,
+                action="scale-down",
+                workers=self.worker_count(),
+                queue_depth=depth,
+            )
+        )
+
+
+__all__ = ["ElasticScaler", "ScalerEvent", "ScalerPolicy"]

@@ -1,0 +1,191 @@
+"""The paper's use case (Sec. V-A, Fig. 6): the cardiovascular workflow.
+
+Steps:
+
+1. deploy a Galaxy instance from the ``galaxy.conf`` topology via GP;
+2. *Get Data via Globus Online*: ``fourCelFileSamples.zip`` (10.7 MB)
+   from the ``galaxy#CVRG-Galaxy`` endpoint into the Galaxy history;
+3. run ``affyDifferentialExpression.R`` on it;
+4. (optionally) ``gp-instance-update`` adds a c1.medium worker, then the
+   larger ``affyCelFileSamples.zip`` (190.3 MB) is transferred and
+   analysed the same way.
+
+``run_usecase`` drives the whole scenario inside the simulation and
+returns every number the evaluation section reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..galaxy import Job, JobState
+from ..provision.instance import GlobusProvision, GPInstance
+from ..provision.topology import DomainSpec, Topology, with_extra_worker
+from ..tools_globus import GET_DATA_TOOL_ID
+from ..crdata import USECASE_TOOL_ID
+from .testbed import AFFY_CEL_PATH, CVRG_DATA_ENDPOINT, FOUR_CEL_PATH, CloudTestbed
+
+
+class UseCaseError(Exception):
+    pass
+
+
+def usecase_topology(
+    instance_type: str = "m1.small",
+    cluster_nodes: int = 1,
+    users: tuple[str, ...] = ("boliu", "user2"),
+) -> Topology:
+    """The paper's galaxy.conf, parameterised by instance type/count."""
+    from ..provision.topology import EC2Spec
+
+    return Topology(
+        domains=(
+            DomainSpec(
+                name="simple",
+                users=users,
+                gridftp=True,
+                condor=True,
+                galaxy=True,
+                crdata=True,
+                cluster_nodes=cluster_nodes,
+                go_endpoint="cvrg#galaxy",
+            ),
+        ),
+        ec2=EC2Spec(instance_type=instance_type),
+    )
+
+
+@dataclass
+class UseCaseResult:
+    """Everything Sec. V reports, as measured in this run."""
+
+    instance: GPInstance
+    deploy_seconds: float
+    transfer_small_seconds: float
+    transfer_large_seconds: Optional[float]
+    step3_job: Job
+    step4_job: Optional[Job]
+    update_seconds: Optional[float]
+    history_panel: list[str] = field(default_factory=list)
+    top_table_head: str = ""
+
+    @property
+    def steps34_seconds(self) -> float:
+        total = self.step3_job.wall_s or 0.0
+        if self.step4_job is not None:
+            total += self.step4_job.wall_s or 0.0
+        return total
+
+    @property
+    def steps34_minutes(self) -> float:
+        return self.steps34_seconds / 60.0
+
+    @property
+    def deploy_minutes(self) -> float:
+        return self.deploy_seconds / 60.0
+
+    def steps34_cost_usd(self, bed: CloudTestbed) -> float:
+        """Cost of the executing machine over the steps-3+4 span (Fig. 10)."""
+        jobs = [self.step3_job] + ([self.step4_job] if self.step4_job else [])
+        total = 0.0
+        for job in jobs:
+            node = self.instance.deployment.nodes.get(job.machine)
+            itype = node.instance_type if node is not None else "m1.small"
+            rate = bed.meter.book.hourly(itype)
+            total += rate * (job.wall_s or 0.0) / 3600.0
+        return total
+
+
+def run_usecase(
+    bed: Optional[CloudTestbed] = None,
+    instance_type: str = "m1.small",
+    cluster_nodes: int = 1,
+    scale_up_with: Optional[str] = "c1.medium",
+    run_large: bool = True,
+    seed: int = 0,
+) -> UseCaseResult:
+    """Execute the full scenario; returns once the simulation settles.
+
+    ``scale_up_with=None`` keeps the original cluster for step 4 (the
+    Fig. 10 configuration: both analyses on one instance type).
+    """
+    bed = bed if bed is not None else CloudTestbed(seed=seed)
+    gp = GlobusProvision(bed)
+    holder: dict = {}
+
+    def scenario():
+        topology = usecase_topology(instance_type, cluster_nodes)
+        gpi = gp.create(topology)
+        yield from gp.start(gpi.id)
+        deployment = gpi.deployment
+        app = deployment.galaxy
+        history = app.create_history("boliu", "Cardiovascular use case")
+
+        # Step 1-2: Get Data via Globus Online (10.7 MB archive).
+        t0 = bed.ctx.now
+        get_small = app.run_tool(
+            "boliu", history, GET_DATA_TOOL_ID,
+            params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+        )
+        yield app.jobs.when_done(get_small)
+        if get_small.state != JobState.OK:
+            raise UseCaseError(f"step 1 transfer failed: {get_small.stderr}")
+        transfer_small = bed.ctx.now - t0
+        small_ds = get_small.outputs["output"]
+
+        # Step 3: affyDifferentialExpression.R on the small archive.
+        step3 = app.run_tool(
+            "boliu", history, USECASE_TOOL_ID, params={"top_n": 50},
+            inputs=[small_ds],
+        )
+        yield app.jobs.when_done(step3)
+        if step3.state != JobState.OK:
+            raise UseCaseError(f"step 3 failed: {step3.stderr}")
+
+        # Optional: expand the cluster with a faster worker (Sec. V-A).
+        update_seconds = None
+        if scale_up_with is not None:
+            new_topology = with_extra_worker(topology, "simple", scale_up_with)
+            report = yield from gp.update(gpi.id, new_topology)
+            update_seconds = report.seconds
+
+        # Step 4: the 190.3 MB archive, transferred then analysed.
+        transfer_large = None
+        step4 = None
+        if run_large:
+            t1 = bed.ctx.now
+            get_large = app.run_tool(
+                "boliu", history, GET_DATA_TOOL_ID,
+                params={"endpoint": CVRG_DATA_ENDPOINT, "path": AFFY_CEL_PATH},
+            )
+            yield app.jobs.when_done(get_large)
+            if get_large.state != JobState.OK:
+                raise UseCaseError(f"step 4 transfer failed: {get_large.stderr}")
+            transfer_large = bed.ctx.now - t1
+            large_ds = get_large.outputs["output"]
+            step4 = app.run_tool(
+                "boliu", history, USECASE_TOOL_ID, params={"top_n": 50},
+                inputs=[large_ds],
+            )
+            yield app.jobs.when_done(step4)
+            if step4.state != JobState.OK:
+                raise UseCaseError(f"step 4 failed: {step4.stderr}")
+
+        top_table_ds = step3.outputs["top_table"]
+        top_table = app.fs.read(top_table_ds.file_path).decode()
+        holder["result"] = UseCaseResult(
+            instance=gpi,
+            deploy_seconds=gpi.start_seconds or 0.0,
+            transfer_small_seconds=transfer_small,
+            transfer_large_seconds=transfer_large,
+            step3_job=step3,
+            step4_job=step4,
+            update_seconds=update_seconds,
+            history_panel=app.history_panel(history),
+            top_table_head="\n".join(top_table.splitlines()[:6]),
+        )
+
+    proc = bed.ctx.sim.process(scenario(), name="usecase")
+    bed.ctx.sim.run(until=proc)
+    return holder["result"]

@@ -1,0 +1,33 @@
+"""CRData: the 35-tool BioConductor-style statistical toolset (Sec. IV-B)."""
+
+from .catalog import (
+    CRDATA_REQUIREMENTS,
+    TOOL_SECTION,
+    USECASE_TOOL_ID,
+    build_crdata_tools,
+    install_crdata_tools,
+)
+from .formats import (
+    BamArchive,
+    CelArchive,
+    ExpressionMatrix,
+    FormatError,
+    Transcript,
+    TranscriptAnnotation,
+    sniff,
+)
+
+__all__ = [
+    "BamArchive",
+    "CRDATA_REQUIREMENTS",
+    "CelArchive",
+    "ExpressionMatrix",
+    "FormatError",
+    "TOOL_SECTION",
+    "Transcript",
+    "TranscriptAnnotation",
+    "USECASE_TOOL_ID",
+    "build_crdata_tools",
+    "install_crdata_tools",
+    "sniff",
+]

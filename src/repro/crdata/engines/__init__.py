@@ -1,0 +1,13 @@
+"""Statistical engines backing the 35 CRData tools."""
+
+from . import classify, clustering, diffexpr, normalize, qc, rnaseq, survival
+
+__all__ = [
+    "classify",
+    "clustering",
+    "diffexpr",
+    "normalize",
+    "qc",
+    "rnaseq",
+    "survival",
+]

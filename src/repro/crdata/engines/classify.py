@@ -1,0 +1,126 @@
+"""Classification: the engine behind ``affyClassify.R``.
+
+"The affyClassify.R tool conducts statistical classification of
+affymetrix CEL Files into groups" (Sec. IV-B).  Implements a nearest
+(shrunken-free) centroid classifier and Fisher linear discriminant
+analysis on (probes × samples) matrices, plus leave-one-out
+cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ClassifyError(Exception):
+    pass
+
+
+@dataclass
+class ClassifierResult:
+    predicted: list[str]
+    actual: list[str]
+    accuracy: float
+    confusion: dict[tuple[str, str], int]
+
+    def confusion_tsv(self) -> str:
+        labels = sorted({a for a, _ in self.confusion} | {b for _, b in self.confusion})
+        lines = ["actual\\predicted\t" + "\t".join(labels)]
+        for a in labels:
+            lines.append(
+                a + "\t" + "\t".join(str(self.confusion.get((a, p), 0)) for p in labels)
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _check(matrix: np.ndarray, groups: list[str]) -> tuple[np.ndarray, list[str]]:
+    m = np.asarray(matrix, dtype=float)
+    if m.shape[1] != len(groups):
+        raise ClassifyError("one group label per sample required")
+    labels = list(dict.fromkeys(groups))
+    if len(labels) < 2:
+        raise ClassifyError("need at least two classes")
+    for lab in labels:
+        if groups.count(lab) < 2:
+            raise ClassifyError(f"class {lab!r} needs at least two samples")
+    return m, labels
+
+
+def nearest_centroid_fit(matrix: np.ndarray, groups: list[str]):
+    """Fit: per-class centroid in expression space.  Returns a predictor."""
+    m, labels = _check(matrix, groups)
+    centroids = {
+        lab: m[:, [g == lab for g in groups]].mean(axis=1) for lab in labels
+    }
+
+    def predict(sample: np.ndarray) -> str:
+        dists = {
+            lab: float(np.linalg.norm(sample - c)) for lab, c in centroids.items()
+        }
+        return min(dists, key=dists.get)
+
+    return predict
+
+
+def lda_fit(matrix: np.ndarray, groups: list[str], shrinkage: float = 0.1):
+    """Fisher LDA with diagonal-shrunk pooled covariance (high-dim safe)."""
+    m, labels = _check(matrix, groups)
+    n_features = m.shape[0]
+    means = {}
+    pooled = np.zeros((n_features,))
+    total = 0
+    for lab in labels:
+        cols = m[:, [g == lab for g in groups]]
+        means[lab] = cols.mean(axis=1)
+        pooled += cols.var(axis=1, ddof=1) * (cols.shape[1] - 1)
+        total += cols.shape[1] - 1
+    pooled /= max(1, total)
+    pooled = (1 - shrinkage) * pooled + shrinkage * pooled.mean()
+    pooled = np.maximum(pooled, 1e-12)
+    priors = {lab: groups.count(lab) / len(groups) for lab in labels}
+
+    def predict(sample: np.ndarray) -> str:
+        scores = {}
+        for lab in labels:
+            diff = sample - means[lab]
+            scores[lab] = -0.5 * float((diff * diff / pooled).sum()) + np.log(
+                priors[lab]
+            )
+        return max(scores, key=scores.get)
+
+    return predict
+
+
+def cross_validate(
+    matrix: np.ndarray,
+    groups: list[str],
+    method: str = "centroid",
+) -> ClassifierResult:
+    """Leave-one-out cross-validation accuracy."""
+    m, _labels = _check(matrix, groups)
+    fit = {"centroid": nearest_centroid_fit, "lda": lda_fit}.get(method)
+    if fit is None:
+        raise ClassifyError(f"unknown method {method!r}")
+    n = m.shape[1]
+    predicted: list[str] = []
+    for held in range(n):
+        keep = [i for i in range(n) if i != held]
+        train_groups = [groups[i] for i in keep]
+        # skip folds that would leave a class with < 2 samples
+        try:
+            predictor = fit(m[:, keep], train_groups)
+        except ClassifyError:
+            predictor = fit(m, groups)  # degenerate fold: train on all
+        predicted.append(predictor(m[:, held]))
+    correct = sum(p == a for p, a in zip(predicted, groups))
+    confusion: dict[tuple[str, str], int] = {}
+    for a, p in zip(groups, predicted):
+        confusion[(a, p)] = confusion.get((a, p), 0) + 1
+    return ClassifierResult(
+        predicted=predicted,
+        actual=list(groups),
+        accuracy=correct / n,
+        confusion=confusion,
+    )

@@ -1,0 +1,110 @@
+"""Clustering engines: hierarchical (heatmap ordering) and k-means.
+
+Backs ``heatmap_plot_demo.R`` ("performs hierarchical clustering by genes
+or samples, and then plots a heatmap", Sec. IV-B) and the clustering
+tools.  Uses SciPy's linkage on correlation or Euclidean distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.cluster import hierarchy
+from scipy.spatial.distance import pdist
+
+
+@dataclass
+class HierarchicalResult:
+    order: list[int]              # leaf order for display
+    labels: list[str]
+    linkage: np.ndarray
+    cluster_assignments: np.ndarray
+
+    def ordered_labels(self) -> list[str]:
+        return [self.labels[i] for i in self.order]
+
+
+def hierarchical_cluster(
+    matrix: np.ndarray,
+    labels: list[str] | None = None,
+    axis: str = "samples",
+    metric: str = "correlation",
+    method: str = "average",
+    n_clusters: int = 2,
+) -> HierarchicalResult:
+    """Cluster rows ("genes") or columns ("samples") of a matrix."""
+    m = np.asarray(matrix, dtype=float)
+    if axis == "samples":
+        data = m.T
+    elif axis == "genes":
+        data = m
+    else:
+        raise ValueError("axis must be 'samples' or 'genes'")
+    if data.shape[0] < 2:
+        raise ValueError("need at least two observations to cluster")
+    if labels is None:
+        labels = [f"{axis[:-1]}_{i}" for i in range(data.shape[0])]
+    if len(labels) != data.shape[0]:
+        raise ValueError("labels length mismatch")
+    if metric == "correlation":
+        # guard constant rows, which make correlation distance undefined
+        sd = data.std(axis=1)
+        safe = data.copy()
+        safe[sd == 0] += np.random.default_rng(0).normal(0, 1e-9, safe.shape[1])
+        dists = pdist(safe, metric="correlation")
+    else:
+        dists = pdist(data, metric=metric)
+    link = hierarchy.linkage(dists, method=method)
+    order = hierarchy.leaves_list(link).tolist()
+    assign = hierarchy.fcluster(link, t=n_clusters, criterion="maxclust")
+    return HierarchicalResult(
+        order=order, labels=list(labels), linkage=link, cluster_assignments=assign
+    )
+
+
+@dataclass
+class KMeansResult:
+    assignments: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def kmeans(
+    matrix: np.ndarray, k: int, seed: int = 0, max_iter: int = 100
+) -> KMeansResult:
+    """Plain Lloyd's k-means on rows, vectorised (no scikit-learn offline)."""
+    x = np.asarray(matrix, dtype=float)
+    n = x.shape[0]
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in [1, {n}]")
+    rng = np.random.default_rng(seed)
+    centroids = x[rng.choice(n, size=k, replace=False)].copy()
+    assignments = np.zeros(n, dtype=int)
+    for it in range(1, max_iter + 1):
+        d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assign = d2.argmin(axis=1)
+        if it > 1 and np.array_equal(new_assign, assignments):
+            break
+        assignments = new_assign
+        for j in range(k):
+            members = x[assignments == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+            else:  # re-seed an empty cluster at the farthest point
+                centroids[j] = x[d2.min(axis=1).argmax()]
+    inertia = float(
+        ((x - centroids[assignments]) ** 2).sum()
+    )
+    return KMeansResult(
+        assignments=assignments, centroids=centroids, inertia=inertia, n_iter=it
+    )
+
+
+def correlation_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Sample-by-sample Pearson correlation of a (probes × samples) matrix."""
+    m = np.asarray(matrix, dtype=float)
+    if m.shape[1] < 2:
+        raise ValueError("need at least two samples")
+    return np.corrcoef(m.T)

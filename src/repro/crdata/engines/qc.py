@@ -1,0 +1,144 @@
+"""Quality control and dimensionality reduction engines.
+
+Backs affyQualityControl / affyPCA / density / boxplot / MA-plot tools.
+The PCA uses the economy SVD (``full_matrices=False``) — the optimisation
+the scientific-python guide singles out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sstats
+
+
+@dataclass
+class ArrayQC:
+    sample: str
+    median: float
+    iqr: float
+    mad: float
+    dynamic_range: float
+    outlier: bool
+
+    def as_tsv(self) -> str:
+        return (
+            f"{self.sample}\t{self.median:.4f}\t{self.iqr:.4f}"
+            f"\t{self.mad:.4f}\t{self.dynamic_range:.4f}\t{int(self.outlier)}"
+        )
+
+
+QC_HEADER = "sample\tmedian\tIQR\tMAD\tdynamic_range\toutlier"
+
+
+def array_qc(matrix: np.ndarray, sample_names: list[str]) -> list[ArrayQC]:
+    """Per-array robust summary stats; arrays whose median deviates from
+    the cohort by > 3 cohort-MADs are flagged as outliers."""
+    m = np.asarray(matrix, dtype=float)
+    if m.shape[1] != len(sample_names):
+        raise ValueError("one name per column required")
+    medians = np.median(m, axis=0)
+    cohort_med = float(np.median(medians))
+    cohort_mad = float(sstats.median_abs_deviation(medians)) or 1e-9
+    out = []
+    for j, name in enumerate(sample_names):
+        col = m[:, j]
+        q1, q3 = np.percentile(col, [25, 75])
+        out.append(
+            ArrayQC(
+                sample=name,
+                median=float(medians[j]),
+                iqr=float(q3 - q1),
+                mad=float(sstats.median_abs_deviation(col)),
+                dynamic_range=float(col.max() - col.min()),
+                outlier=bool(abs(medians[j] - cohort_med) > 3 * cohort_mad),
+            )
+        )
+    return out
+
+
+@dataclass
+class PCAResult:
+    scores: np.ndarray              # (samples × components)
+    explained_variance_ratio: np.ndarray
+    components: np.ndarray          # (components × probes)
+
+    def scores_tsv(self, sample_names: list[str], n: int = 2) -> str:
+        lines = ["sample\t" + "\t".join(f"PC{i+1}" for i in range(n))]
+        for name, row in zip(sample_names, self.scores[:, :n]):
+            lines.append(name + "\t" + "\t".join(f"{v:.4f}" for v in row))
+        return "\n".join(lines) + "\n"
+
+
+def pca(matrix: np.ndarray, n_components: int = 2) -> PCAResult:
+    """PCA of samples in probe space via economy SVD."""
+    m = np.asarray(matrix, dtype=float)
+    x = m.T - m.T.mean(axis=0, keepdims=True)   # samples × probes, centred
+    n_components = min(n_components, min(x.shape))
+    u, s, vt = np.linalg.svd(x, full_matrices=False)
+    scores = u * s
+    var = s**2 / max(1, x.shape[0] - 1)
+    ratio = var / var.sum() if var.sum() else var
+    return PCAResult(
+        scores=scores[:, :n_components],
+        explained_variance_ratio=ratio[:n_components],
+        components=vt[:n_components],
+    )
+
+
+def density_summary(matrix: np.ndarray, n_points: int = 64) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample intensity histograms on a shared grid (density plot)."""
+    m = np.asarray(matrix, dtype=float)
+    lo, hi = float(m.min()), float(m.max())
+    edges = np.linspace(lo, hi, n_points + 1)
+    dens = np.stack(
+        [np.histogram(m[:, j], bins=edges, density=True)[0] for j in range(m.shape[1])]
+    )
+    return dens, edges
+
+
+def boxplot_summary(matrix: np.ndarray) -> np.ndarray:
+    """Five-number summaries per column: (5 × samples)."""
+    m = np.asarray(matrix, dtype=float)
+    return np.percentile(m, [0, 25, 50, 75, 100], axis=0)
+
+
+def ma_values(matrix: np.ndarray, i: int, j: int) -> tuple[np.ndarray, np.ndarray]:
+    """MA-plot coordinates between two arrays of a log2 matrix."""
+    m = np.asarray(matrix, dtype=float)
+    if not (0 <= i < m.shape[1] and 0 <= j < m.shape[1]):
+        raise ValueError("array index out of range")
+    if i == j:
+        raise ValueError("MA plot needs two distinct arrays")
+    a = 0.5 * (m[:, i] + m[:, j])
+    diff = m[:, i] - m[:, j]
+    return diff, a
+
+
+def variance_filter(
+    matrix: np.ndarray, names: list[str], top_n: int | None = None, min_var: float = 0.0
+) -> tuple[np.ndarray, list[str]]:
+    """Keep the most variable probes (standard pre-filtering)."""
+    m = np.asarray(matrix, dtype=float)
+    var = m.var(axis=1, ddof=1)
+    keep = var >= min_var
+    idx = np.where(keep)[0]
+    if top_n is not None:
+        idx = idx[np.argsort(var[idx])[::-1][:top_n]]
+        idx = np.sort(idx)
+    return m[idx], [names[i] for i in idx]
+
+
+def correlation_test(x: np.ndarray, y: np.ndarray, method: str = "pearson"):
+    """Correlation between two vectors; returns (r, p)."""
+    x, y = np.asarray(x, float), np.asarray(y, float)
+    if x.shape != y.shape or x.size < 3:
+        raise ValueError("x and y must be same-length vectors of size >= 3")
+    if method == "pearson":
+        r, p = sstats.pearsonr(x, y)
+    elif method == "spearman":
+        r, p = sstats.spearmanr(x, y)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return float(r), float(p)

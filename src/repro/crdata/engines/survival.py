@@ -1,0 +1,124 @@
+"""Survival analysis: Kaplan-Meier estimation and the log-rank test.
+
+CRData's cardiovascular tool set includes survival analyses; this engine
+backs ``survivalKaplanMeier.R``.  Input is a clinical table of
+(time, event, group) rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+class SurvivalError(Exception):
+    pass
+
+
+@dataclass
+class KMCurve:
+    group: str
+    times: np.ndarray          # event times (ascending)
+    survival: np.ndarray       # S(t) after each event time
+    at_risk: np.ndarray
+    events: np.ndarray
+    median_survival: float | None
+
+    def as_tsv(self) -> str:
+        lines = [f"# group: {self.group}", "time\tn_risk\tn_event\tsurvival"]
+        for t, r, d, s in zip(self.times, self.at_risk, self.events, self.survival):
+            lines.append(f"{t:g}\t{int(r)}\t{int(d)}\t{s:.4f}")
+        return "\n".join(lines) + "\n"
+
+
+def kaplan_meier(times: np.ndarray, events: np.ndarray, group: str = "all") -> KMCurve:
+    """Kaplan-Meier product-limit estimator.
+
+    ``events`` is 1 for an observed event, 0 for censoring.
+    """
+    t = np.asarray(times, dtype=float)
+    e = np.asarray(events, dtype=int)
+    if t.size == 0 or t.shape != e.shape:
+        raise SurvivalError("times and events must be same-length non-empty arrays")
+    if np.any(t < 0):
+        raise SurvivalError("negative survival time")
+    if not set(np.unique(e)) <= {0, 1}:
+        raise SurvivalError("events must be 0/1")
+    order = np.argsort(t, kind="stable")
+    t, e = t[order], e[order]
+    event_times = np.unique(t[e == 1])
+    n = t.size
+    at_risk, deaths, surv = [], [], []
+    s = 1.0
+    for et in event_times:
+        r = int((t >= et).sum())
+        d = int(((t == et) & (e == 1)).sum())
+        s *= 1.0 - d / r
+        at_risk.append(r)
+        deaths.append(d)
+        surv.append(s)
+    surv_arr = np.array(surv)
+    median = None
+    below = np.where(surv_arr <= 0.5)[0]
+    if below.size:
+        median = float(event_times[below[0]])
+    return KMCurve(
+        group=group,
+        times=event_times,
+        survival=surv_arr,
+        at_risk=np.array(at_risk),
+        events=np.array(deaths),
+        median_survival=median,
+    )
+
+
+def logrank_test(
+    times: np.ndarray,
+    events: np.ndarray,
+    groups: list[str],
+) -> tuple[float, float]:
+    """Two-group log-rank test; returns (chi2, p)."""
+    t = np.asarray(times, dtype=float)
+    e = np.asarray(events, dtype=int)
+    g = np.asarray(groups)
+    labels = list(dict.fromkeys(groups))
+    if len(labels) != 2:
+        raise SurvivalError("log-rank test implemented for exactly two groups")
+    mask2 = g == labels[1]
+    event_times = np.unique(t[e == 1])
+    observed2 = 0.0
+    expected2 = 0.0
+    var2 = 0.0
+    for et in event_times:
+        at_risk = t >= et
+        n = int(at_risk.sum())
+        n2 = int((at_risk & mask2).sum())
+        d = int(((t == et) & (e == 1)).sum())
+        d2 = int(((t == et) & (e == 1) & mask2).sum())
+        observed2 += d2
+        expected2 += d * n2 / n
+        if n > 1:
+            var2 += d * (n2 / n) * (1 - n2 / n) * (n - d) / (n - 1)
+    if var2 == 0:
+        return 0.0, 1.0
+    chi2 = (observed2 - expected2) ** 2 / var2
+    p = float(stats.chi2.sf(chi2, df=1))
+    return float(chi2), p
+
+
+def parse_clinical_table(data: bytes) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Parse a TSV of ``time<TAB>event<TAB>group`` rows (with header)."""
+    lines = [ln for ln in data.decode().splitlines() if ln.strip()]
+    if not lines or not lines[0].lower().startswith("time"):
+        raise SurvivalError("clinical table needs a 'time\\tevent\\tgroup' header")
+    times, events, groups = [], [], []
+    for ln in lines[1:]:
+        parts = ln.split("\t")
+        if len(parts) != 3:
+            raise SurvivalError(f"bad clinical row: {ln!r}")
+        times.append(float(parts[0]))
+        events.append(int(parts[1]))
+        groups.append(parts[2])
+    return np.array(times), np.array(events), groups

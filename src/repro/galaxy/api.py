@@ -1,0 +1,206 @@
+"""A REST-style Galaxy API client (the BioBlend surface, simplified).
+
+The CVRG portal and scripted pipelines drive Galaxy programmatically;
+this client authenticates with a user's API key and exposes the
+endpoints that matter for the paper's workflows: histories, datasets,
+tools, jobs, and workflows.  Errors surface as HTTP-ish status codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .app import GalaxyApp, GalaxyError
+from .datasets import Dataset, History
+from .jobs import Job
+from .tools import ToolError
+from .workflows import Workflow, WorkflowError
+
+
+class GalaxyAPIError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class JobDocument:
+    id: int
+    tool_id: str
+    state: str
+    stdout: str
+    stderr: str
+    outputs: dict[str, int]   # output name -> dataset id
+
+
+class GalaxyClient:
+    """Client bound to one API key."""
+
+    def __init__(self, app: GalaxyApp, api_key: str) -> None:
+        self.app = app
+        user = next(
+            (u for u in app.users.values() if u.api_key == api_key), None
+        )
+        if user is None:
+            raise GalaxyAPIError(401, "invalid API key")
+        self.user = user
+
+    # -- histories ---------------------------------------------------------------
+    def create_history(self, name: str = "Unnamed history") -> int:
+        return self.app.create_history(self.user.username, name).id
+
+    def list_histories(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "id": hid,
+                "name": self.app.histories[hid].name,
+                "size": sum(d.size for d in self.app.histories[hid].active()),
+            }
+            for hid in self.user.histories
+        ]
+
+    def _history(self, history_id: int) -> History:
+        history = self.app.histories.get(history_id)
+        if history is None:
+            raise GalaxyAPIError(404, f"no history {history_id}")
+        if not history.accessible_by(self.user.username):
+            raise GalaxyAPIError(403, f"history {history_id} is not yours")
+        return history
+
+    def show_history(self, history_id: int) -> dict[str, Any]:
+        history = self._history(history_id)
+        return {
+            "id": history.id,
+            "name": history.name,
+            "user": history.user,
+            "datasets": [
+                {
+                    "id": d.id,
+                    "hid": d.hid,
+                    "name": d.name,
+                    "ext": d.ext,
+                    "state": d.state.value,
+                    "size": d.size,
+                }
+                for d in history.active()
+            ],
+        }
+
+    # -- datasets -----------------------------------------------------------------
+    def _dataset(self, history: History, dataset_id: int) -> Dataset:
+        for d in history.datasets:
+            if d.id == dataset_id:
+                return d
+        raise GalaxyAPIError(404, f"no dataset {dataset_id} in history {history.id}")
+
+    def upload(
+        self,
+        history_id: int,
+        name: str,
+        data: Optional[bytes] = None,
+        size: Optional[int] = None,
+        ext: str = "data",
+    ) -> int:
+        history = self._history(history_id)
+        if history.user != self.user.username:
+            raise GalaxyAPIError(403, "cannot write to another user's history")
+        ds = self.app.upload_data(history, name, data=data, size=size, ext=ext)
+        return ds.id
+
+    def download(self, history_id: int, dataset_id: int) -> bytes:
+        history = self._history(history_id)
+        ds = self._dataset(history, dataset_id)
+        try:
+            return self.app.download_dataset(ds)
+        except GalaxyError as exc:
+            raise GalaxyAPIError(409, str(exc)) from exc
+
+    # -- tools -----------------------------------------------------------------------
+    def list_tools(self) -> list[dict[str, str]]:
+        return [
+            {"id": t.id, "name": t.name, "description": t.description}
+            for t in self.app.toolbox.all_tools()
+        ]
+
+    def run_tool(
+        self,
+        history_id: int,
+        tool_id: str,
+        params: Optional[dict] = None,
+        input_ids: Optional[list[int]] = None,
+    ) -> JobDocument:
+        history = self._history(history_id)
+        if history.user != self.user.username:
+            raise GalaxyAPIError(403, "cannot run tools in another user's history")
+        inputs = [self._dataset(history, i) for i in (input_ids or [])]
+        try:
+            job = self.app.run_tool(
+                self.user.username, history, tool_id, params=params, inputs=inputs
+            )
+        except (ToolError, GalaxyError) as exc:
+            raise GalaxyAPIError(400, str(exc)) from exc
+        return self._job_doc(job)
+
+    # -- jobs -------------------------------------------------------------------------
+    def _job_doc(self, job: Job) -> JobDocument:
+        return JobDocument(
+            id=job.id,
+            tool_id=job.tool.id,
+            state=job.state.value,
+            stdout=job.stdout,
+            stderr=job.stderr,
+            outputs={name: d.id for name, d in job.outputs.items()},
+        )
+
+    def show_job(self, job_id: int) -> JobDocument:
+        try:
+            job = self.app.jobs.get(job_id)
+        except Exception as exc:
+            raise GalaxyAPIError(404, str(exc)) from exc
+        if job.user != self.user.username:
+            raise GalaxyAPIError(403, f"job {job_id} belongs to {job.user}")
+        return self._job_doc(job)
+
+    def when_job_done(self, job_id: int):
+        """Kernel event for in-process waiting (poll-free convenience)."""
+        job = self.app.jobs.get(job_id)
+        if job.user != self.user.username:
+            raise GalaxyAPIError(403, f"job {job_id} belongs to {job.user}")
+        return self.app.jobs.when_done(job)
+
+    # -- workflows -----------------------------------------------------------------------
+    def import_workflow(self, workflow_json: str) -> str:
+        try:
+            wf = Workflow.from_json(workflow_json)
+            self.app.save_workflow(wf)
+        except (WorkflowError, ToolError) as exc:
+            raise GalaxyAPIError(400, str(exc)) from exc
+        return wf.name
+
+    def export_workflow(self, name: str) -> str:
+        wf = self.app.workflow_store.get(name)
+        if wf is None:
+            raise GalaxyAPIError(404, f"no workflow {name!r}")
+        return wf.to_json()
+
+    def invoke_workflow(
+        self, name: str, history_id: int, inputs: dict[int, int]
+    ) -> dict[str, Any]:
+        """``inputs`` maps input-step ids to dataset ids."""
+        history = self._history(history_id)
+        wf = self.app.workflow_store.get(name)
+        if wf is None:
+            raise GalaxyAPIError(404, f"no workflow {name!r}")
+        resolved = {
+            step_id: self._dataset(history, ds_id)
+            for step_id, ds_id in inputs.items()
+        }
+        try:
+            inv = self.app.workflows.invoke(
+                wf, history, user=self.user.username, inputs=resolved
+            )
+        except WorkflowError as exc:
+            raise GalaxyAPIError(400, str(exc)) from exc
+        return {"workflow": name, "invocation": inv}

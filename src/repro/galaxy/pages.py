@@ -1,0 +1,106 @@
+"""Pages and sharing: Galaxy's publication layer.
+
+"A Galaxy Page is a mix of text, graphs and embedded Galaxy items from
+analyses (including datasets, histories and workflows), that allows a
+reader to easily view, reproduce, or extend the analyses" (Sec. II-2).
+Histories, workflows and pages can be shared with specific users or
+published via web links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Union
+
+from .datasets import Dataset, History
+from .workflows import Workflow
+
+
+class SharingError(Exception):
+    pass
+
+
+Embeddable = Union[Dataset, History, Workflow]
+
+
+@dataclass
+class PageItem:
+    kind: Literal["text", "dataset", "history", "workflow"]
+    text: str = ""
+    ref: Embeddable | None = None
+
+
+@dataclass
+class Page:
+    """An annotated, shareable document embedding live Galaxy objects."""
+
+    title: str
+    slug: str
+    owner: str
+    items: list[PageItem] = field(default_factory=list)
+    published: bool = False
+    shared_with: set[str] = field(default_factory=set)
+
+    def add_text(self, text: str) -> None:
+        self.items.append(PageItem(kind="text", text=text))
+
+    def embed(self, obj: Embeddable, caption: str = "") -> None:
+        if isinstance(obj, Dataset):
+            kind = "dataset"
+        elif isinstance(obj, History):
+            kind = "history"
+        elif isinstance(obj, Workflow):
+            kind = "workflow"
+        else:
+            raise SharingError(f"cannot embed {type(obj).__name__}")
+        self.items.append(PageItem(kind=kind, text=caption, ref=obj))
+
+    def embedded(self, kind: str) -> list[Embeddable]:
+        return [i.ref for i in self.items if i.kind == kind and i.ref is not None]
+
+    def accessible_by(self, username: str) -> bool:
+        return self.published or username == self.owner or username in self.shared_with
+
+
+class PageStore:
+    """All pages of a Galaxy instance, addressed by slug."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, Page] = {}
+
+    def create(self, title: str, owner: str, slug: str = "") -> Page:
+        slug = slug or title.lower().replace(" ", "-")
+        if slug in self._pages:
+            raise SharingError(f"page slug {slug!r} taken")
+        page = Page(title=title, slug=slug, owner=owner)
+        self._pages[slug] = page
+        return page
+
+    def get(self, slug: str, as_user: str) -> Page:
+        page = self._pages.get(slug)
+        if page is None:
+            raise SharingError(f"no such page {slug!r}")
+        if not page.accessible_by(as_user):
+            raise SharingError(f"{as_user!r} may not view page {slug!r}")
+        return page
+
+    def share(self, slug: str, owner: str, with_user: str) -> None:
+        page = self._pages.get(slug)
+        if page is None:
+            raise SharingError(f"no such page {slug!r}")
+        if page.owner != owner:
+            raise SharingError("only the owner can share a page")
+        page.shared_with.add(with_user)
+
+    def publish(self, slug: str, owner: str) -> str:
+        """Make the page public; returns its web link."""
+        page = self._pages.get(slug)
+        if page is None:
+            raise SharingError(f"no such page {slug!r}")
+        if page.owner != owner:
+            raise SharingError("only the owner can publish a page")
+        page.published = True
+        return f"/u/{owner}/p/{slug}"
+
+    def published_pages(self) -> list[Page]:
+        return [p for p in self._pages.values() if p.published]

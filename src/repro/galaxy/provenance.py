@@ -1,0 +1,155 @@
+"""Provenance: enough recorded detail to repeat any analysis.
+
+"Galaxy supports reproducibility by capturing sufficient information
+about every step in a computational analysis, so that the analysis can be
+repeated in the future ... all input, intermediate, and final datasets,
+as well as the parameters and the execution order of each step"
+(Sec. II-2).  The store listens to the job manager and records immutable
+job records; ``lineage`` walks a dataset's ancestry and ``rerun``
+re-submits a recorded job with identical parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .datasets import Dataset, History
+from .jobs import Job, JobManager, JobState
+
+
+class ProvenanceError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable record of one executed job."""
+
+    job_id: int
+    tool_id: str
+    tool_version: str
+    user: str
+    params: tuple[tuple[str, object], ...]
+    input_ids: tuple[int, ...]
+    input_checksums: tuple[str, ...]
+    output_ids: tuple[int, ...]
+    state: str
+    machine: str
+    create_time: float
+    end_time: Optional[float]
+
+    @property
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+
+class ProvenanceStore:
+    """Append-only job history wired to a :class:`JobManager`."""
+
+    def __init__(self, jobs: JobManager) -> None:
+        self.jobs = jobs
+        self.records: dict[int, JobRecord] = {}
+        #: dataset id -> creating job id
+        self._creator: dict[int, int] = {}
+        jobs.listeners.append(self._on_job_done)
+
+    def _on_job_done(self, job: Job) -> None:
+        checksums = []
+        for ds in job.inputs:
+            try:
+                checksums.append(self.jobs.fs.stat(ds.file_path).checksum)
+            except Exception:
+                checksums.append("?")
+        record = JobRecord(
+            job_id=job.id,
+            tool_id=job.tool.id,
+            tool_version=job.tool.version,
+            user=job.user,
+            params=tuple(sorted((k, v) for k, v in job.params.items())),
+            input_ids=tuple(d.id for d in job.inputs),
+            input_checksums=tuple(checksums),
+            output_ids=tuple(d.id for d in job.outputs.values()),
+            state=job.state.value,
+            machine=job.machine,
+            create_time=job.create_time,
+            end_time=job.end_time,
+        )
+        self.records[job.id] = record
+        for out_id in record.output_ids:
+            self._creator[out_id] = job.id
+
+    # -- queries ---------------------------------------------------------------
+    def record_for_job(self, job_id: int) -> JobRecord:
+        try:
+            return self.records[job_id]
+        except KeyError:
+            raise ProvenanceError(f"no record for job {job_id}") from None
+
+    def creating_job(self, dataset: Dataset) -> Optional[JobRecord]:
+        job_id = self._creator.get(dataset.id)
+        return self.records.get(job_id) if job_id is not None else None
+
+    def lineage(self, dataset: Dataset, history: History) -> list[JobRecord]:
+        """Job chain that produced ``dataset``, oldest first."""
+        chain: list[JobRecord] = []
+        seen: set[int] = set()
+        frontier = [dataset.id]
+        while frontier:
+            ds_id = frontier.pop()
+            job_id = self._creator.get(ds_id)
+            if job_id is None or job_id in seen:
+                continue
+            seen.add(job_id)
+            rec = self.records[job_id]
+            chain.append(rec)
+            frontier.extend(rec.input_ids)
+        return sorted(chain, key=lambda r: r.create_time)
+
+    def export_history(self, history: History) -> list[dict]:
+        """Serialisable provenance of a whole history (what a Page embeds)."""
+        out = []
+        for ds in history.datasets:
+            rec = self.creating_job(ds)
+            out.append(
+                {
+                    "dataset_id": ds.id,
+                    "hid": ds.hid,
+                    "name": ds.name,
+                    "state": ds.state.value,
+                    "created_by": None
+                    if rec is None
+                    else {
+                        "tool_id": rec.tool_id,
+                        "tool_version": rec.tool_version,
+                        "params": rec.params_dict,
+                        "inputs": list(rec.input_ids),
+                    },
+                }
+            )
+        return out
+
+    # -- reproduction ----------------------------------------------------------
+    def rerun(self, record: JobRecord, history: History, toolbox) -> Job:
+        """Repeat a recorded analysis step with identical parameters.
+
+        Input datasets are looked up by id in the target history; they must
+        still exist and be OK (Galaxy behaves the same way).
+        """
+        tool = toolbox.get(record.tool_id)
+        by_id = {d.id: d for d in history.datasets}
+        inputs = []
+        for ds_id in record.input_ids:
+            ds = by_id.get(ds_id)
+            if ds is None or not ds.usable:
+                raise ProvenanceError(
+                    f"cannot rerun job {record.job_id}: input dataset {ds_id} unavailable"
+                )
+            inputs.append(ds)
+        return self.jobs.submit(
+            tool,
+            user=record.user,
+            history=history,
+            params=record.params_dict,
+            inputs=inputs,
+        )

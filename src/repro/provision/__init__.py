@@ -1,0 +1,44 @@
+"""Globus Provision: topologies, the deployment engine, instance lifecycle."""
+
+from .deployer import (
+    Deployer,
+    Deployment,
+    DeploymentError,
+    DomainRuntime,
+    UpdateReport,
+)
+from .instance import GlobusProvision, GPError, GPInstance, GPInstanceState
+from .topology import (
+    PAPER_GALAXY_CONF,
+    DomainSpec,
+    EC2Spec,
+    GlobusOnlineSpec,
+    NodeSpec,
+    Topology,
+    TopologyDiff,
+    TopologyError,
+    diff_topologies,
+    with_extra_worker,
+)
+
+__all__ = [
+    "Deployer",
+    "Deployment",
+    "DeploymentError",
+    "DomainRuntime",
+    "DomainSpec",
+    "EC2Spec",
+    "GPError",
+    "GPInstance",
+    "GPInstanceState",
+    "GlobusOnlineSpec",
+    "GlobusProvision",
+    "NodeSpec",
+    "PAPER_GALAXY_CONF",
+    "Topology",
+    "TopologyDiff",
+    "TopologyError",
+    "UpdateReport",
+    "diff_topologies",
+    "with_extra_worker",
+]

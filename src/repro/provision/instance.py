@@ -1,0 +1,154 @@
+"""GP instances: the lifecycle facade behind the ``gp-instance-*`` commands.
+
+Mirrors Fig. 1's workflow: create (from a topology file) -> start ->
+describe / SSH -> update (modify topology) -> stop/resume -> terminate.
+A *GP instance* is the collection of EC2 hosts GP manages as one unit;
+its id looks like the paper's ``gpi-02156188``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .deployer import Deployer, Deployment, DeploymentError, UpdateReport
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from ..core.testbed import CloudTestbed
+
+
+class GPError(Exception):
+    pass
+
+
+class GPInstanceState(str, enum.Enum):
+    NEW = "New"
+    STARTING = "Starting"
+    RUNNING = "Running"
+    UPDATING = "Updating"
+    STOPPED = "Stopped"
+    TERMINATED = "Terminated"
+
+
+@dataclass
+class GPInstance:
+    id: str
+    topology: Topology
+    state: GPInstanceState = GPInstanceState.NEW
+    deployment: Optional[Deployment] = None
+    start_seconds: Optional[float] = None
+    updates: list[UpdateReport] = field(default_factory=list)
+
+    def describe(self) -> dict:
+        """The document ``gp-instance-describe`` prints."""
+        hosts = []
+        if self.deployment is not None:
+            for node in self.deployment.nodes.values():
+                hosts.append(
+                    {
+                        "name": node.name,
+                        "instance_type": node.instance_type,
+                        "hostname": node.hostname,
+                        "state": node.instance.state.value,
+                        "roles": sorted(node.roles),
+                    }
+                )
+        doc = {
+            "id": self.id,
+            "state": self.state.value,
+            "hosts": sorted(hosts, key=lambda h: h["name"]),
+        }
+        if self.deployment is not None and self.state == GPInstanceState.RUNNING:
+            galaxy_host = next(
+                (h for h in doc["hosts"] if "galaxy" in h["roles"]), None
+            )
+            if galaxy_host is not None:
+                doc["galaxy_url"] = f"http://{galaxy_host['hostname']}:8080"
+        return doc
+
+
+class GlobusProvision:
+    """The gp command set, bound to one testbed."""
+
+    def __init__(self, testbed: "CloudTestbed") -> None:
+        self.bed = testbed
+        self.deployer = Deployer(testbed)
+        self.instances: dict[str, GPInstance] = {}
+        self._counter = 0x2156188  # homage to the paper's gpi-02156188
+
+    # -- commands -------------------------------------------------------------
+    def create(self, topology: Topology) -> GPInstance:
+        """``gp-instance-create -c galaxy.conf``"""
+        self._counter += 1
+        gpi = GPInstance(id=f"gpi-{self._counter:08x}", topology=topology)
+        self.instances[gpi.id] = gpi
+        return gpi
+
+    def start(self, instance_id: str):
+        """``gp-instance-start`` — a simulation process."""
+        gpi = self.get(instance_id)
+        if gpi.state == GPInstanceState.STOPPED:
+            yield from self._resume(gpi)
+            return gpi
+        if gpi.state != GPInstanceState.NEW:
+            raise GPError(f"{gpi.id} is {gpi.state.value}; cannot start")
+        gpi.state = GPInstanceState.STARTING
+        t0 = self.bed.ctx.now
+        try:
+            gpi.deployment = yield from self.deployer.deploy(gpi.topology)
+        except Exception:
+            gpi.state = GPInstanceState.NEW
+            raise
+        gpi.start_seconds = self.bed.ctx.now - t0
+        gpi.state = GPInstanceState.RUNNING
+        return gpi
+
+    def _resume(self, gpi: GPInstance):
+        gpi.state = GPInstanceState.STARTING
+        yield from self.deployer.resume(gpi.deployment)
+        gpi.state = GPInstanceState.RUNNING
+
+    def describe(self, instance_id: str) -> dict:
+        return self.get(instance_id).describe()
+
+    def update(self, instance_id: str, new_topology: Topology):
+        """``gp-instance-update -t newtopology.json`` — a simulation process."""
+        gpi = self.get(instance_id)
+        if gpi.state != GPInstanceState.RUNNING:
+            raise GPError(f"{gpi.id} is {gpi.state.value}; cannot update")
+        gpi.state = GPInstanceState.UPDATING
+        try:
+            report = yield from self.deployer.update(gpi.deployment, new_topology)
+        finally:
+            gpi.state = GPInstanceState.RUNNING
+        gpi.topology = new_topology
+        gpi.updates.append(report)
+        return report
+
+    def stop(self, instance_id: str) -> None:
+        """``gp-instance-stop`` — suspend to avoid paying for idle resources."""
+        gpi = self.get(instance_id)
+        if gpi.state != GPInstanceState.RUNNING:
+            raise GPError(f"{gpi.id} is {gpi.state.value}; cannot stop")
+        self.deployer.stop(gpi.deployment)
+        gpi.state = GPInstanceState.STOPPED
+
+    def terminate(self, instance_id: str) -> None:
+        """``gp-instance-terminate`` — releases everything; not resumable."""
+        gpi = self.get(instance_id)
+        if gpi.state == GPInstanceState.TERMINATED:
+            return
+        if gpi.deployment is not None:
+            self.deployer.terminate(gpi.deployment)
+        gpi.state = GPInstanceState.TERMINATED
+
+    def get(self, instance_id: str) -> GPInstance:
+        try:
+            return self.instances[instance_id]
+        except KeyError:
+            raise GPError(f"no such instance {instance_id!r}") from None
+
+    def list_instances(self) -> list[GPInstance]:
+        return sorted(self.instances.values(), key=lambda g: g.id)

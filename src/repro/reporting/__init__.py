@@ -1,0 +1,12 @@
+"""Plain-text reporting used by benchmarks and examples."""
+
+from .tables import Comparison, render_series, render_table
+from .timeline import collect_intervals, render_timeline
+
+__all__ = [
+    "Comparison",
+    "collect_intervals",
+    "render_series",
+    "render_table",
+    "render_timeline",
+]

@@ -1,0 +1,76 @@
+"""ASCII tables: the benchmarks print the paper's figures as rows/series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a box around it."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt(cells[0]))
+    lines.append(sep)
+    lines.extend(fmt(r) for r in cells[1:])
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str = "",
+) -> str:
+    """One row per x value, one column per named series (a figure's data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title)
+
+
+@dataclass
+class Comparison:
+    """Paper-vs-measured rows for EXPERIMENTS.md and benchmark output."""
+
+    title: str
+    rows: list[tuple[str, Any, Any]] = field(default_factory=list)
+
+    def add(self, metric: str, paper: Any, measured: Any) -> None:
+        self.rows.append((metric, paper, measured))
+
+    def render(self) -> str:
+        def _fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return f"{v:.3g}"
+            return str(v) if v is not None else "-"
+
+        return render_table(
+            ["metric", "paper", "measured"],
+            [(m, _fmt(p), _fmt(x)) for m, p, x in self.rows],
+            title=self.title,
+        )
+
+    def ratios(self) -> dict[str, Optional[float]]:
+        out = {}
+        for metric, paper, measured in self.rows:
+            try:
+                out[metric] = float(measured) / float(paper)
+            except (TypeError, ValueError, ZeroDivisionError):
+                out[metric] = None
+        return out

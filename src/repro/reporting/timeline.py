@@ -1,0 +1,58 @@
+"""Deployment timeline: a text Gantt chart from the simulation trace.
+
+Renders what happened when during a GP deployment — instance boots and
+Chef converges per host — which makes the Fig. 10 deployment-time
+structure visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcore import TraceLog
+
+
+@dataclass
+class Interval:
+    label: str
+    start: float
+    end: float
+
+
+def collect_intervals(trace: TraceLog) -> list[Interval]:
+    """Boot and converge intervals from the standard trace events."""
+    intervals: list[Interval] = []
+    boot_starts: dict[str, float] = {}
+    for rec in trace.records:
+        if rec.source == "ec2" and rec.kind == "launch":
+            boot_starts[rec.detail["instance"]] = rec.time
+        elif rec.source == "ec2" and rec.kind == "running":
+            iid = rec.detail["instance"]
+            if iid in boot_starts:
+                intervals.append(Interval(f"boot {iid}", boot_starts.pop(iid), rec.time))
+        elif rec.source == "chef" and rec.kind == "converge-done":
+            node = rec.detail["node"]
+            duration = rec.detail["duration"]
+            intervals.append(Interval(f"chef {node}", rec.time - duration, rec.time))
+    return intervals
+
+
+def render_timeline(trace: TraceLog, width: int = 50) -> str:
+    """Gantt-style bars, one per interval, on a shared time axis."""
+    intervals = collect_intervals(trace)
+    if not intervals:
+        return "(no deployment activity recorded)"
+    t0 = min(iv.start for iv in intervals)
+    t1 = max(iv.end for iv in intervals)
+    span = max(1e-9, t1 - t0)
+    label_w = max(len(iv.label) for iv in intervals)
+    lines = [f"deployment timeline ({t1 - t0:.0f}s total)"]
+    for iv in sorted(intervals, key=lambda i: (i.start, i.label)):
+        lead = int((iv.start - t0) / span * width)
+        length = max(1, int((iv.end - iv.start) / span * width))
+        bar = " " * lead + "#" * min(length, width - lead)
+        lines.append(
+            f"{iv.label.ljust(label_w)} |{bar.ljust(width)}| "
+            f"{iv.start - t0:6.0f}s..{iv.end - t0:6.0f}s"
+        )
+    return "\n".join(lines)

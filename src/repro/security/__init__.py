@@ -1,0 +1,13 @@
+"""Security substrate: simulated X.509 PKI and MyProxy credential store."""
+
+from .myproxy import MyProxyError, MyProxyServer, StoredCredential
+from .x509 import Certificate, CertificateAuthority, CertificateError
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "MyProxyError",
+    "MyProxyServer",
+    "StoredCredential",
+]

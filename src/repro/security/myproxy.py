@@ -1,0 +1,91 @@
+"""Simulated MyProxy: an online credential repository.
+
+Users store a long-lived credential protected by a passphrase; services
+(Globus Transfer activating an endpoint on the user's behalf) retrieve a
+short-lived delegated proxy.  Mirrors Basney et al.'s MyProxy, which GP
+deploys as one of its standard packages (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .x509 import Certificate, CertificateAuthority, CertificateError
+
+
+class MyProxyError(Exception):
+    pass
+
+
+def _hash_pass(passphrase: str) -> str:
+    return hashlib.sha256(passphrase.encode()).hexdigest()
+
+
+@dataclass
+class StoredCredential:
+    username: str
+    certificate: Certificate
+    passphrase_hash: str
+    max_delegation_lifetime_s: float
+
+
+@dataclass
+class MyProxyServer:
+    """The credential repository daemon."""
+
+    ca: CertificateAuthority
+    credentials: dict[str, StoredCredential] = field(default_factory=dict)
+    #: delegation audit log: (time, username, proxy serial)
+    delegations: list[tuple[float, str, int]] = field(default_factory=list)
+
+    def store(
+        self,
+        username: str,
+        certificate: Certificate,
+        passphrase: str,
+        now: float,
+        max_delegation_lifetime_s: float = 12 * 3600.0,
+    ) -> None:
+        """Deposit a credential (``myproxy-init``)."""
+        if len(passphrase) < 6:
+            raise MyProxyError("passphrase too short (min 6 characters)")
+        self.ca.verify(certificate, now)  # refuse to store junk
+        self.credentials[username] = StoredCredential(
+            username=username,
+            certificate=certificate,
+            passphrase_hash=_hash_pass(passphrase),
+            max_delegation_lifetime_s=max_delegation_lifetime_s,
+        )
+
+    def retrieve(
+        self,
+        username: str,
+        passphrase: str,
+        now: float,
+        lifetime_s: float = 12 * 3600.0,
+    ) -> Certificate:
+        """Fetch a delegated proxy (``myproxy-logon``)."""
+        stored = self.credentials.get(username)
+        if stored is None:
+            raise MyProxyError(f"no credential stored for {username!r}")
+        if _hash_pass(passphrase) != stored.passphrase_hash:
+            raise MyProxyError("bad passphrase")
+        try:
+            proxy = self.ca.delegate_proxy(
+                stored.certificate,
+                now,
+                min(lifetime_s, stored.max_delegation_lifetime_s),
+            )
+        except CertificateError as exc:
+            raise MyProxyError(f"stored credential unusable: {exc}") from exc
+        self.delegations.append((now, username, proxy.serial))
+        return proxy
+
+    def destroy(self, username: str) -> None:
+        if username not in self.credentials:
+            raise MyProxyError(f"no credential stored for {username!r}")
+        del self.credentials[username]
+
+    def __contains__(self, username: str) -> bool:
+        return username in self.credentials

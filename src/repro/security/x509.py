@@ -1,0 +1,121 @@
+"""Simulated X.509 public-key infrastructure.
+
+GP "generates user accounts and certificates to support secure access"
+(Sec. III-A); the Galaxy/Globus integration requires the user to register
+an X.509 certificate with Globus Online so that "the Galaxy server [can]
+submit transfer requests on behalf of the user" (Sec. IV-A).  We model
+certificates as signed, expiring, revocable assertions with real
+validation logic (chain, lifetime, revocation) minus the actual crypto —
+the *protocol* behaviour is what the paper exercises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CertificateError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An issued certificate (possibly a delegated proxy)."""
+
+    subject: str
+    issuer: str
+    serial: int
+    not_before: float
+    not_after: float
+    is_proxy: bool = False
+    #: fake key-binding token so impersonated certs do not verify
+    signature: str = ""
+
+    @property
+    def lifetime_s(self) -> float:
+        return self.not_after - self.not_before
+
+    def expired(self, now: float) -> bool:
+        return now >= self.not_after or now < self.not_before
+
+
+@dataclass
+class CertificateAuthority:
+    """A CA issuing host, user and proxy certificates."""
+
+    name: str
+    default_lifetime_s: float = 365 * 24 * 3600.0
+    _serials: itertools.count = field(default_factory=lambda: itertools.count(1))
+    revoked: set[int] = field(default_factory=set)
+    issued: dict[int, Certificate] = field(default_factory=dict)
+
+    def _sign(self, subject: str, serial: int, not_after: float) -> str:
+        blob = f"{self.name}|{subject}|{serial}|{not_after}".encode()
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    def issue(
+        self,
+        subject: str,
+        now: float,
+        lifetime_s: Optional[float] = None,
+        is_proxy: bool = False,
+    ) -> Certificate:
+        serial = next(self._serials)
+        not_after = now + (lifetime_s if lifetime_s is not None else self.default_lifetime_s)
+        cert = Certificate(
+            subject=subject,
+            issuer=self.name,
+            serial=serial,
+            not_before=now,
+            not_after=not_after,
+            is_proxy=is_proxy,
+            signature=self._sign(subject, serial, not_after),
+        )
+        self.issued[serial] = cert
+        return cert
+
+    def issue_host_cert(self, hostname: str, now: float) -> Certificate:
+        return self.issue(f"/CN=host/{hostname}", now)
+
+    def issue_user_cert(self, username: str, now: float) -> Certificate:
+        return self.issue(f"/CN={username}", now)
+
+    def delegate_proxy(
+        self, cert: Certificate, now: float, lifetime_s: float = 12 * 3600.0
+    ) -> Certificate:
+        """Issue a short-lived proxy derived from a valid end-entity cert."""
+        self.verify(cert, now)
+        proxy_life = min(lifetime_s, cert.not_after - now)
+        return self.issue(f"{cert.subject}/proxy", now, proxy_life, is_proxy=True)
+
+    def revoke(self, cert: Certificate) -> None:
+        if cert.serial not in self.issued:
+            raise CertificateError(f"{self.name} did not issue serial {cert.serial}")
+        self.revoked.add(cert.serial)
+
+    def verify(self, cert: Certificate, now: float) -> None:
+        """Raise :class:`CertificateError` unless the certificate is valid."""
+        if cert.issuer != self.name:
+            raise CertificateError(
+                f"certificate issued by {cert.issuer!r}, not {self.name!r}"
+            )
+        expected = self._sign(cert.subject, cert.serial, cert.not_after)
+        if cert.signature != expected or self.issued.get(cert.serial) != cert:
+            raise CertificateError("signature check failed (forged certificate?)")
+        if cert.serial in self.revoked:
+            raise CertificateError(f"certificate {cert.serial} is revoked")
+        if cert.expired(now):
+            raise CertificateError(
+                f"certificate for {cert.subject} expired "
+                f"(valid {cert.not_before}..{cert.not_after}, now {now})"
+            )
+
+    def is_valid(self, cert: Certificate, now: float) -> bool:
+        try:
+            self.verify(cert, now)
+            return True
+        except CertificateError:
+            return False

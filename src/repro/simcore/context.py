@@ -1,0 +1,72 @@
+"""Simulation context: the bundle every component receives.
+
+A :class:`SimContext` owns the kernel, the named RNG streams, and a simple
+structured trace log.  Passing one object keeps constructor signatures flat
+and makes whole-system determinism a single-seed affair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .kernel import Simulator
+from .rng import RandomStreams
+
+
+@dataclass
+class TraceRecord:
+    """One structured trace event emitted by a component."""
+
+    time: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """In-memory structured log with optional live subscribers."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> TraceRecord:
+        rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        self.records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+        return rec
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(fn)
+
+    def filter(self, kind: str | None = None, source: str | None = None) -> list[TraceRecord]:
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return list(out)
+
+
+class SimContext:
+    """Kernel + RNG + trace, the spine threaded through every subsystem."""
+
+    def __init__(self, seed: int = 0, initial_time: float = 0.0) -> None:
+        self.seed = seed
+        self.sim = Simulator(initial_time=initial_time)
+        self.rng = RandomStreams(seed)
+        self.trace = TraceLog()
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def stream(self, name: str) -> np.random.Generator:
+        return self.rng.stream(name)
+
+    def log(self, source: str, kind: str, **detail: Any) -> TraceRecord:
+        return self.trace.emit(self.sim.now, source, kind, **detail)

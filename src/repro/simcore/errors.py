@@ -1,0 +1,31 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised when :meth:`Simulator.step` is called with no pending events."""
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries whatever object the interrupter passed,
+    typically a short human-readable reason.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class UntriggeredEvent(SimulationError):
+    """Raised when the value of an event is read before it triggered."""

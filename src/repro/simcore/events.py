@@ -1,0 +1,170 @@
+"""Event primitives for the discrete-event kernel.
+
+The model follows the classic SimPy design: an :class:`SimEvent` is a
+one-shot occurrence with a value (or an exception).  Callbacks attached to
+the event run when the kernel processes it.  :class:`Timeout` is an event
+scheduled a fixed delay in the future; :class:`AnyOf`/:class:`AllOf`
+combine events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from .errors import SimulationError, UntriggeredEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class SimEvent:
+    """A one-shot event that may succeed with a value or fail with an error.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the event queue) ->
+    *processed* (callbacks have run).  An event can only be triggered once.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["SimEvent"], None]]] = []
+        self._value: object = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value and scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed by the kernel."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise UntriggeredEvent(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise UntriggeredEvent(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: object = None) -> "SimEvent":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have the exception thrown into
+        them.  Failed events must be waited on (or marked ``defused``) or
+        the kernel re-raises the error at processing time.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self._defused = False
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    @property
+    def defused(self) -> bool:
+        return getattr(self, "_defused", True)
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(SimEvent):
+    """Event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class _Condition(SimEvent):
+    """Base for events composed of several sub-events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        self._unprocessed = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_subevent(ev)
+            else:
+                ev.callbacks.append(self._on_subevent)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev.value for ev in self.events if ev.processed and ev.ok
+        }
+
+    def _on_subevent(self, ev: SimEvent) -> None:
+        if not ev.ok:
+            # Waiting on the condition counts as handling the failure, even
+            # when the condition has already fired (e.g. two sub-processes
+            # failing at the same timestamp).
+            ev.defused = True
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)  # type: ignore[arg-type]
+            return
+        self._unprocessed -= 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every sub-event has triggered successfully."""
+
+    def _check(self) -> bool:
+        return self._unprocessed == 0
+
+
+class AnyOf(_Condition):
+    """Triggers when at least one sub-event has triggered successfully."""
+
+    def _check(self) -> bool:
+        return self._unprocessed < len(self.events)

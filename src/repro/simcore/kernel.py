@@ -1,0 +1,136 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the clock and the event queue.  Components schedule
+:class:`~repro.simcore.events.SimEvent` objects; processes (generators) are
+driven by :class:`~repro.simcore.process.Process`.  Determinism: events at
+equal times are processed in (priority, insertion order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Optional
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, SimEvent, Timeout
+from .process import Process, ProcessGenerator
+
+#: Priority used for "urgent" bookkeeping events (process initialization).
+URGENT = -1
+#: Default priority for ordinary events.
+NORMAL = 0
+
+
+class Simulator:
+    """Event loop with a virtual clock measured in seconds."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, SimEvent]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> SimEvent:
+        """Create a fresh, untriggered event."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> SimEvent:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        return self.call_in(when - self._now, fn)
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> SimEvent:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: SimEvent, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        if not event.ok and not event.defused:
+            # Nobody waited on a failed event: surface the error loudly.
+            raise event.value  # type: ignore[misc]
+
+    def run(self, until: float | SimEvent | None = None) -> object:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (absolute time), or an
+        event (stop when it is processed, returning its value).
+        """
+        stop_value: dict = {}
+        if isinstance(until, SimEvent):
+            if until.processed:
+                return until.value
+            def _stop(ev: SimEvent) -> None:
+                stop_value["value"] = ev.value
+                stop_value["ok"] = ev.ok
+                raise StopSimulation()
+            until.callbacks.append(_stop)
+        elif until is not None:
+            until = float(until)
+            if until < self._now:
+                raise ValueError(f"until ({until}) is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if isinstance(until, float) and self.peek() > until:
+                    self._now = until
+                    return None
+                self.step()
+        except StopSimulation:
+            if not stop_value.get("ok", True):
+                raise stop_value["value"]  # type: ignore[misc]
+            return stop_value.get("value")
+        if isinstance(until, float):
+            self._now = until
+        elif isinstance(until, SimEvent):
+            raise SimulationError(
+                "event queue drained before the awaited event triggered"
+            )
+        return None

@@ -1,0 +1,119 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator that yields :class:`SimEvent` objects.
+When a yielded event triggers, the process resumes with the event's value
+(or the event's exception is thrown into the generator).  A process is
+itself an event that triggers when the generator returns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from .errors import Interrupt, SimulationError
+from .events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+ProcessGenerator = Generator[SimEvent, object, object]
+
+
+class _Initialize(SimEvent):
+    """Immediate event that starts a process on the next kernel step."""
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, delay=0.0, priority=-1)
+
+
+class Process(SimEvent):
+    """A running process; also an event that fires when the process ends."""
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        # Event the process is currently waiting on (None once finished).
+        self._target: SimEvent | None = _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process, or a process from within itself, is an
+        error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on, then resume it
+        # with the interrupt via an immediate event.
+        target = self._target
+        if target is not None and not target.processed and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_ev = SimEvent(self.sim)
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.fail(Interrupt(cause))
+        interrupt_ev.defused = True
+
+    def _resume(self, event: SimEvent) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event.ok:
+                        next_event = self._generator.send(event.value)
+                    else:
+                        event.defused = True
+                        next_event = self._generator.throw(event.value)  # type: ignore[arg-type]
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except Interrupt:
+                    # The generator let an interrupt escape: treat it as an
+                    # ordinary failure of the process.
+                    self._target = None
+                    exc = SimulationError(f"{self.name} died of unhandled Interrupt")
+                    self.fail(exc)
+                    return
+                except Exception as exc:
+                    # The process raised: fail the process event.  Waiters
+                    # receive the exception; with no waiters the kernel
+                    # surfaces it at the next step.
+                    self._target = None
+                    self.fail(exc)
+                    return
+                if not isinstance(next_event, SimEvent):
+                    exc = SimulationError(
+                        f"{self.name} yielded a non-event: {next_event!r}"
+                    )
+                    self._target = None
+                    self._generator.close()
+                    self.fail(exc)
+                    return
+                if next_event.sim is not self.sim:
+                    raise SimulationError("yielded event belongs to another simulator")
+                self._target = next_event
+                if next_event.processed:
+                    # Already happened: loop and feed it straight back in.
+                    event = next_event
+                    continue
+                next_event.callbacks.append(self._resume)
+                return
+        finally:
+            self.sim._active_process = None

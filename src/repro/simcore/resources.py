@@ -1,0 +1,186 @@
+"""Shared-resource primitives: capacity-limited resources and object stores.
+
+These mirror the SimPy resource model but are trimmed to what this
+reproduction needs: FIFO resources with integer capacity (CPU slots,
+GridFTP connection limits), priority resources (Condor negotiation), stores
+(job queues, mailboxes) and containers (byte pools, token buckets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .errors import SimulationError
+from .events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+
+class Request(SimEvent):
+    """Pending claim on a :class:`Resource`; succeeds when capacity frees."""
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        resource._request(self)
+
+    def release(self) -> None:
+        """Give back the claimed unit (or cancel a pending request)."""
+        self.resource._release(self)
+
+    # Support "with resource.request() as req: yield req".
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class Resource:
+    """A resource with ``capacity`` identical units and FIFO queueing."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Units currently claimed."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    # -- internals ---------------------------------------------------------
+    def _request(self, req: Request) -> None:
+        self.queue.append(req)
+        self._trigger()
+
+    def _release(self, req: Request) -> None:
+        if req in self.users:
+            self.users.remove(req)
+        else:
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                return
+        self._trigger()
+
+    def _next_waiter(self) -> Optional[Request]:
+        return self.queue[0] if self.queue else None
+
+    def _trigger(self) -> None:
+        while len(self.users) < self.capacity:
+            req = self._next_waiter()
+            if req is None:
+                return
+            self.queue.remove(req)
+            self.users.append(req)
+            req.succeed(req)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest ``priority`` value first."""
+
+    def _next_waiter(self) -> Optional[Request]:
+        if not self.queue:
+            return None
+        return min(self.queue, key=lambda r: r.priority)
+
+
+class StorePut(SimEvent):
+    def __init__(self, store: "Store", item: object) -> None:
+        super().__init__(store.sim)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(SimEvent):
+    def __init__(self, store: "Store", filter_fn: Optional[Callable[[object], bool]] = None) -> None:
+        super().__init__(store.sim)
+        self.filter_fn = filter_fn
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """An unbounded-or-bounded buffer of arbitrary items (FIFO).
+
+    ``get`` may pass a filter predicate, in which case the first matching
+    item is returned (used by the Condor negotiator to pick jobs whose
+    requirements match an available slot).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: list[object] = []
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    def put(self, item: object) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self, filter_fn: Optional[Callable[[object], bool]] = None) -> StoreGet:
+        return StoreGet(self, filter_fn)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy gets whose filter matches something.
+            for get in list(self._get_queue):
+                match_idx = None
+                for i, item in enumerate(self.items):
+                    if get.filter_fn is None or get.filter_fn(item):
+                        match_idx = i
+                        break
+                if match_idx is not None:
+                    self._get_queue.remove(get)
+                    get.succeed(self.items.pop(match_idx))
+                    progressed = True
+
+
+class Container:
+    """A homogeneous quantity pool (e.g. bytes, tokens).
+
+    Only synchronous operations are needed by this project, so ``put`` and
+    ``take`` act immediately and raise when they cannot be satisfied.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), init: float = 0.0) -> None:
+        if init < 0 or init > capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if self.level + amount > self.capacity:
+            raise SimulationError("container overflow")
+        self.level += amount
+
+    def take(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if amount > self.level:
+            raise SimulationError("container underflow")
+        self.level -= amount

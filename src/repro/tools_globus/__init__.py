@@ -1,0 +1,19 @@
+"""The three Globus Transfer tools added to Galaxy (paper Sec. IV-A)."""
+
+from .tools import (
+    GET_DATA_TOOL_ID,
+    GO_TRANSFER_TOOL_ID,
+    SEND_DATA_TOOL_ID,
+    TOOL_SECTION,
+    build_globus_tools,
+    install_globus_tools,
+)
+
+__all__ = [
+    "GET_DATA_TOOL_ID",
+    "GO_TRANSFER_TOOL_ID",
+    "SEND_DATA_TOOL_ID",
+    "TOOL_SECTION",
+    "build_globus_tools",
+    "install_globus_tools",
+]

@@ -1,0 +1,44 @@
+"""Transfer stack: GridFTP, Globus Online service + REST client, baselines."""
+
+from .api import GlobusAPIError, TaskDocument, TransferClient
+from .baselines import FTPUploader, HTTPUploader, UploadError, UploadResult
+from .globus_online import (
+    ACTIVATION_LIFETIME_S,
+    EmailNotification,
+    Endpoint,
+    GlobusError,
+    GlobusOnline,
+    GOUser,
+    TaskEvent,
+    TaskStatus,
+    TransferItem,
+    TransferSpec,
+    TransferTask,
+)
+from .gridftp import GridFTPError, GridFTPServer, checksum_seconds
+from .sites import SiteGraph
+
+__all__ = [
+    "ACTIVATION_LIFETIME_S",
+    "EmailNotification",
+    "Endpoint",
+    "FTPUploader",
+    "GOUser",
+    "GlobusAPIError",
+    "GlobusError",
+    "GlobusOnline",
+    "GridFTPError",
+    "GridFTPServer",
+    "HTTPUploader",
+    "SiteGraph",
+    "TaskDocument",
+    "TaskEvent",
+    "TaskStatus",
+    "TransferClient",
+    "TransferItem",
+    "TransferSpec",
+    "TransferTask",
+    "UploadError",
+    "UploadResult",
+    "checksum_seconds",
+]

@@ -1,0 +1,148 @@
+"""The Globus Transfer REST API client, as Galaxy consumes it.
+
+The paper: "During execution, Galaxy invokes the Globus Transfer REST API
+to create and monitor the transfer; this information is used to update
+the status of the job in the Galaxy history panel."  This client mirrors
+the 2012 Transfer API surface (submission id, task document, events,
+endpoint operations) against our in-process service.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..simcore import SimEvent
+from .globus_online import (
+    GlobusError,
+    GlobusOnline,
+    TaskStatus,
+    TransferItem,
+    TransferSpec,
+    TransferTask,
+)
+
+
+class GlobusAPIError(Exception):
+    """HTTP-level failure (auth, 404, validation)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class TaskDocument:
+    """The JSON-ish task document the REST API returns."""
+
+    task_id: str
+    status: str
+    label: str
+    files: int
+    files_transferred: int
+    bytes_transferred: int
+    faults: int
+    nice_status: str
+
+    @classmethod
+    def from_task(cls, task: TransferTask) -> "TaskDocument":
+        return cls(
+            task_id=task.task_id,
+            status=task.status.value,
+            label=task.spec.label,
+            files=task.files_total,
+            files_transferred=task.files_transferred,
+            bytes_transferred=task.bytes_transferred,
+            faults=task.faults,
+            nice_status=task.fatal_error or ("OK" if task.is_terminal else "Queued"),
+        )
+
+
+class TransferClient:
+    """Authenticated client bound to one Globus Online user."""
+
+    def __init__(self, service: GlobusOnline, username: str) -> None:
+        if username not in service.users:
+            raise GlobusAPIError(401, f"no such account {username!r}")
+        self.service = service
+        self.username = username
+        self._submission_ids = itertools.count(1)
+        self._used_submission_ids: set[str] = set()
+
+    # -- submission --------------------------------------------------------------
+    def get_submission_id(self) -> str:
+        """Idempotency token, as the real API requires before a submit."""
+        return f"sub-{self.username}-{next(self._submission_ids):06d}"
+
+    def submit_transfer(
+        self,
+        submission_id: str,
+        source_endpoint: str,
+        dest_endpoint: str,
+        items: list[tuple[str, str]] | list[TransferItem],
+        label: str = "",
+        deadline_s: Optional[float] = None,
+        verify_checksum: bool = True,
+        notify: bool = True,
+    ) -> TaskDocument:
+        if submission_id in self._used_submission_ids:
+            raise GlobusAPIError(409, f"submission id {submission_id} already used")
+        norm_items = [
+            it if isinstance(it, TransferItem) else TransferItem(it[0], it[1])
+            for it in items
+        ]
+        spec = TransferSpec(
+            source_endpoint=source_endpoint,
+            dest_endpoint=dest_endpoint,
+            items=norm_items,
+            label=label,
+            deadline_s=deadline_s,
+            verify_checksum=verify_checksum,
+            notify=notify,
+        )
+        try:
+            task = self.service.submit(self.username, spec)
+        except GlobusError as exc:
+            raise GlobusAPIError(400, str(exc)) from exc
+        self._used_submission_ids.add(submission_id)
+        return TaskDocument.from_task(task)
+
+    # -- monitoring -----------------------------------------------------------------
+    def get_task(self, task_id: str) -> TaskDocument:
+        task = self._task(task_id)
+        return TaskDocument.from_task(task)
+
+    def task_event_list(self, task_id: str) -> list[dict]:
+        task = self._task(task_id)
+        return [
+            {"time": e.time, "code": e.code, "description": e.description}
+            for e in task.events
+        ]
+
+    def when_task_done(self, task_id: str) -> SimEvent:
+        """Kernel event for process-level waiting (in-process convenience)."""
+        return self.service.when_done(self._task(task_id))
+
+    def task_successful(self, task_id: str) -> bool:
+        return self._task(task_id).status == TaskStatus.SUCCEEDED
+
+    def _task(self, task_id: str) -> TransferTask:
+        try:
+            task = self.service.task(task_id)
+        except GlobusError as exc:
+            raise GlobusAPIError(404, str(exc)) from exc
+        if task.owner != self.username:
+            raise GlobusAPIError(403, f"task {task_id} belongs to {task.owner}")
+        return task
+
+    # -- endpoints ---------------------------------------------------------------------
+    def endpoint_list(self) -> list[str]:
+        return [e.name for e in self.service.list_endpoints(self.username)]
+
+    def endpoint_activate(self, name: str) -> float:
+        try:
+            return self.service.activate_endpoint(name, self.username)
+        except GlobusError as exc:
+            raise GlobusAPIError(400, str(exc)) from exc

@@ -1,0 +1,159 @@
+"""GridFTP servers: the data movers behind Globus endpoints.
+
+A :class:`GridFTPServer` fronts a filesystem at a site, holds a host
+certificate, and limits concurrent data connections.  The Globus Transfer
+service drives pairs of servers to move data; the server itself also
+exposes a direct ``transfer_file`` process for third-party GridFTP use
+(what `globus-url-copy` would do).
+"""
+
+from __future__ import annotations
+
+import math
+import posixpath
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .. import calibration
+from ..cloud.network import NetworkPath, aggregate_rate_bps, slow_start_ramp_s
+from ..cluster.nfs import FileNode, MountTable, SimFilesystem
+from ..security.x509 import Certificate
+from ..simcore import Resource, SimContext
+
+Filesystem = Union[SimFilesystem, MountTable]
+
+
+class GridFTPError(Exception):
+    pass
+
+
+@dataclass
+class GridFTPServer:
+    """One GridFTP daemon."""
+
+    ctx: SimContext
+    hostname: str
+    site: str
+    fs: Filesystem
+    host_cert: Optional[Certificate] = None
+    max_connections: int = 16
+    #: bytes moved through this server (both directions), for accounting
+    bytes_moved: int = 0
+    #: transfer tasks currently assigned here (load-balancing signal)
+    active_tasks: int = 0
+    _conn_pool: Resource = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._conn_pool = Resource(self.ctx.sim, capacity=self.max_connections)
+
+    # -- filesystem facade -----------------------------------------------------
+    def stat(self, path: str) -> FileNode:
+        try:
+            return self.fs.stat(path)
+        except Exception as exc:
+            raise GridFTPError(f"{self.hostname}: stat {path}: {exc}") from exc
+
+    def exists(self, path: str) -> bool:
+        return self.fs.exists(path)
+
+    def list_files(self, path: str) -> list[str]:
+        """All file paths under ``path`` (itself, if ``path`` is a file)."""
+        if self.fs.isfile(path):
+            return [path]
+        if not self.fs.isdir(path):
+            raise GridFTPError(f"{self.hostname}: no such path {path}")
+        out: list[str] = []
+
+        def _walk(d: str) -> None:
+            for name in self.fs.listdir(d):
+                child = posixpath.join(d, name)
+                if self.fs.isfile(child):
+                    out.append(child)
+                else:
+                    _walk(child)
+
+        _walk(path)
+        return sorted(out)
+
+    def store(self, path: str, src_node: FileNode, now: float) -> None:
+        """Materialise a received file (content and declared size both copy)."""
+        self.fs.write(
+            path,
+            data=src_node.data,
+            size=src_node.size,
+            owner=src_node.owner,
+            mtime=now,
+        )
+        self.bytes_moved += src_node.size
+
+    # -- timing model ------------------------------------------------------------
+    def stream_plan(self, size_bytes: int, parallel: Optional[int] = None) -> int:
+        """How many parallel streams to use (auto-tuned unless forced)."""
+        from ..cloud.network import globus_streams_for
+
+        if parallel is not None:
+            if parallel < 1:
+                raise GridFTPError("parallel streams must be >= 1")
+            return parallel
+        return globus_streams_for(size_bytes)
+
+    def wire_seconds(
+        self, path: NetworkPath, size_bytes: int, streams: int
+    ) -> float:
+        """Pure data-movement time for one file (no task overhead)."""
+        rate = aggregate_rate_bps(path, streams, calibration.GO_WINDOW_BYTES)
+        ramp = slow_start_ramp_s(path, calibration.GO_WINDOW_BYTES)
+        return ramp + size_bytes * 8.0 / rate
+
+    # -- direct third-party transfer (globus-url-copy equivalent) ----------------
+    def transfer_file(
+        self,
+        dest: "GridFTPServer",
+        src_path: str,
+        dst_path: str,
+        network: NetworkPath,
+        parallel: Optional[int] = None,
+    ):
+        """Simulation process moving one file from this server to ``dest``.
+
+        Returns (bytes, seconds) when awaited.
+        """
+        node = self.stat(src_path)
+        streams = self.stream_plan(node.size, parallel)
+        start = self.ctx.now
+        src_req = self._conn_pool.request()
+        dst_req = dest._conn_pool.request()
+        yield src_req
+        yield dst_req
+        try:
+            yield self.ctx.sim.timeout(self.wire_seconds(network, node.size, streams))
+            dest.store(dst_path, node, now=self.ctx.now)
+            self.bytes_moved += node.size
+        finally:
+            src_req.release()
+            dst_req.release()
+        self.ctx.log(
+            "gridftp",
+            "transfer",
+            src=f"{self.hostname}:{src_path}",
+            dst=f"{dest.hostname}:{dst_path}",
+            bytes=node.size,
+            streams=streams,
+        )
+        return node.size, self.ctx.now - start
+
+
+def checksum_seconds(size_bytes: int) -> float:
+    """Integrity verification cost (both ends pipelined)."""
+    # ~200 MB/s scan rate
+    return size_bytes / (200.0 * calibration.MB)
+
+
+def per_file_request_cost(n_files: int, rtt_s: float) -> float:
+    """Control-channel chatter: a couple of RTTs per file in a batch."""
+    return max(0, n_files - 1) * 2.0 * rtt_s
+
+
+def mlsd_seconds(n_entries: int, rtt_s: float) -> float:
+    """Directory listing cost for recursive transfers."""
+    return rtt_s * (1 + math.ceil(n_entries / 50))

@@ -1,0 +1,19 @@
+"""Synthetic workload generators for the paper's datasets and benchmarks."""
+
+from .generators import (
+    make_affy_cel_archive,
+    make_clinical_table,
+    make_expression_matrix_bytes,
+    make_four_cel_archive,
+    make_rnaseq_archive,
+    transfer_corpus,
+)
+
+__all__ = [
+    "make_affy_cel_archive",
+    "make_clinical_table",
+    "make_expression_matrix_bytes",
+    "make_four_cel_archive",
+    "make_rnaseq_archive",
+    "transfer_corpus",
+]

@@ -1,0 +1,113 @@
+"""Generators for the paper's datasets and benchmark corpora.
+
+The two use-case archives reproduce the paper's names and sizes:
+``fourCelFileSamples.zip`` (10.7 MB, 4 arrays) and
+``affyCelFileSamples.zip`` (190.3 MB, 72 arrays), each with a planted
+two-group differential-expression signal so correctness is checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import calibration
+from ..crdata.formats import BamArchive, CelArchive, ExpressionMatrix
+
+
+def make_four_cel_archive(seed: int = 42, n_probes: int = 4000) -> CelArchive:
+    """fourCelFileSamples.zip — 4 arrays, 2 control + 2 case (Sec. V-A)."""
+    return CelArchive(
+        n_arrays=calibration.FOUR_CEL_N_ARRAYS,
+        n_probes=n_probes,
+        seed=seed,
+        groups=["control", "control", "case", "case"],
+        n_diff=max(20, n_probes // 50),
+        effect=2.0,
+        declared_size=calibration.FOUR_CEL_ZIP_BYTES,
+    )
+
+
+def make_affy_cel_archive(seed: int = 43, n_probes: int = 4000) -> CelArchive:
+    """affyCelFileSamples.zip — the larger 190.3 MB batch (Sec. V-A)."""
+    n = calibration.AFFY_CEL_N_ARRAYS
+    return CelArchive(
+        n_arrays=n,
+        n_probes=n_probes,
+        seed=seed,
+        groups=["control"] * (n // 2) + ["case"] * (n - n // 2),
+        n_diff=max(40, n_probes // 40),
+        effect=1.5,
+        declared_size=calibration.AFFY_CEL_ZIP_BYTES,
+    )
+
+
+def make_rnaseq_archive(
+    seed: int = 7,
+    n_samples: int = 6,
+    n_reads: int = 20_000,
+    n_transcripts: int = 150,
+    n_diff: int = 15,
+    effect: float = 3.0,
+) -> BamArchive:
+    """A two-condition RNA-seq experiment with planted differential transcripts."""
+    half = n_samples // 2
+    return BamArchive(
+        n_reads_per_sample=n_reads,
+        seed=seed,
+        samples=[f"sample_{i}" for i in range(n_samples)],
+        conditions=["A"] * half + ["B"] * (n_samples - half),
+        annotation_seed=seed + 1,
+        n_transcripts=n_transcripts,
+        n_diff=n_diff,
+        effect=effect,
+    )
+
+
+def make_expression_matrix_bytes(
+    seed: int = 11,
+    n_probes: int = 500,
+    groups: tuple[str, ...] = ("A", "A", "A", "B", "B", "B"),
+    n_diff: int = 25,
+    effect: float = 1.5,
+) -> bytes:
+    """A ready-to-use log2 expression matrix with planted signal."""
+    rng = np.random.default_rng(seed)
+    n_samples = len(groups)
+    values = rng.normal(8.0, 1.0, size=(n_probes, 1)) + rng.normal(
+        0.0, 0.3, size=(n_probes, n_samples)
+    )
+    planted = rng.choice(n_probes, size=n_diff, replace=False)
+    labels = list(dict.fromkeys(groups))
+    mask = np.array([g == labels[-1] for g in groups])
+    values[np.ix_(planted, np.where(mask)[0])] += effect
+    em = ExpressionMatrix(
+        values=values,
+        probe_names=[f"probe_{i:05d}_at" for i in range(n_probes)],
+        sample_names=[f"s{i}" for i in range(n_samples)],
+        groups=list(groups),
+    )
+    return em.to_bytes()
+
+
+def make_clinical_table(
+    seed: int = 3, n_per_group: int = 60, hazard_ratio: float = 3.0
+) -> bytes:
+    """Survival data: exponential event times, group B at higher hazard."""
+    rng = np.random.default_rng(seed)
+    rows = ["time\tevent\tgroup"]
+    for group, scale in [("A", 10.0), ("B", 10.0 / hazard_ratio)]:
+        times = rng.exponential(scale, size=n_per_group)
+        censor = rng.exponential(15.0, size=n_per_group)
+        observed = np.minimum(times, censor)
+        events = (times <= censor).astype(int)
+        for t, e in zip(observed, events):
+            rows.append(f"{t:.3f}\t{e}\t{group}")
+    return ("\n".join(rows) + "\n").encode()
+
+
+def transfer_corpus() -> list[tuple[str, int]]:
+    """(name, bytes) for the Fig. 11 file-size sweep."""
+    return [
+        (f"file_{size // calibration.MB}MB.dat", size)
+        for size in calibration.FIGURE11_FILE_SIZES
+    ]

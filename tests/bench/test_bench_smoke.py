@@ -1,0 +1,64 @@
+"""Fast smoke checks of the experiment drivers (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.bench import ablations, figure10, figure11, usecase
+from repro.calibration import GB, MB
+
+
+def test_figure10_single_column():
+    row = figure10.run_one("c1.medium")
+    assert 5 < row.exec_min < 9
+    assert 5 < row.deploy_min < 9
+    assert 0.005 < row.cost_usd < 0.02
+
+
+def test_figure10_render_contains_comparison():
+    result = figure10.run(instance_types=["m1.small", "m1.xlarge"])
+    text = result.render()
+    assert "Figure 10" in text
+    assert "paper" in text
+    with pytest.raises(StopIteration):
+        result.row("c1.medium")
+
+
+def test_figure11_small_sweep_shape():
+    result = figure11.run(sizes=[1 * MB, 100 * MB])
+    result.check_shape()
+    text = result.render()
+    assert "Globus Transfer" in text and "FTP" in text
+
+
+def test_figure11_http_refusal_recorded_as_none():
+    result = figure11.run(sizes=[3 * GB])
+    assert result.rates["http"] == [None]
+    assert "refused" in result.render()
+
+
+def test_usecase_bench_render():
+    bench = usecase.run()
+    bench.check_shape()
+    assert "dynamic cluster expansion" in bench.render()
+
+
+def test_stream_ablation_two_points():
+    result = ablations.run_stream_ablation(streams=[1, 4])
+    assert result.rates_mbps[1] > 2.5 * result.rates_mbps[0]
+    assert "parallel-stream" in result.render()
+
+
+def test_pool_width_two_points():
+    result = ablations.run_pool_width_ablation(widths=[1, 4])
+    assert result.makespans_s[0] > 2 * result.makespans_s[1]
+
+
+def test_ami_ablation_speedup():
+    result = ablations.run_ami_ablation()
+    assert result.speedup > 1.8
+    assert "x)" in result.render()
+
+
+def test_billing_ablation_orderings():
+    result = ablations.run_billing_ablation()
+    result.check_shape()
+    assert "hourly" in result.render()

@@ -1,0 +1,68 @@
+"""Attribute precedence and deep merging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chef import NodeAttributes, deep_merge
+
+
+def test_deep_merge_nested_dicts():
+    base = {"galaxy": {"port": 8080, "admin": "a"}, "x": 1}
+    extra = {"galaxy": {"admin": "b"}, "y": 2}
+    out = deep_merge(base, extra)
+    assert out == {"galaxy": {"port": 8080, "admin": "b"}, "x": 1, "y": 2}
+    assert base["galaxy"]["admin"] == "a"  # input untouched
+
+
+def test_deep_merge_replaces_non_dict_with_dict():
+    assert deep_merge({"a": 1}, {"a": {"b": 2}}) == {"a": {"b": 2}}
+
+
+def test_precedence_override_beats_default():
+    attrs = NodeAttributes()
+    attrs.set("override", {"condor": {"slots": 8}})
+    attrs.set("default", {"condor": {"slots": 2, "interval": 20}})
+    assert attrs.get("condor.slots") == 8
+    assert attrs.get("condor.interval") == 20
+
+
+def test_same_level_later_wins():
+    attrs = NodeAttributes()
+    attrs.set("default", {"k": 1})
+    attrs.set("default", {"k": 2})
+    assert attrs.get("k") == 2
+
+
+def test_get_path_and_default():
+    attrs = NodeAttributes()
+    attrs.set("normal", {"a": {"b": {"c": 3}}})
+    assert attrs.get("a.b.c") == 3
+    assert attrs.get(["a", "b", "c"]) == 3
+    assert attrs.get("a.b.missing", "fallback") == "fallback"
+    assert attrs.get("a.b.c.too.deep", None) is None
+
+
+def test_contains():
+    attrs = NodeAttributes()
+    attrs.set("default", {"a": {"b": None}})
+    assert "a.b" in attrs
+    assert "a.z" not in attrs
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        NodeAttributes().set("super", {})
+
+
+@given(
+    st.dictionaries(st.text(max_size=5), st.integers(), max_size=5),
+    st.dictionaries(st.text(max_size=5), st.integers(), max_size=5),
+)
+def test_property_merge_keys_union_and_extra_wins(base, extra):
+    out = deep_merge(base, extra)
+    assert set(out) == set(base) | set(extra)
+    for k in extra:
+        assert out[k] == extra[k]
+    for k in set(base) - set(extra):
+        assert out[k] == base[k]

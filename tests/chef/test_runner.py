@@ -1,0 +1,191 @@
+"""Recipe compilation and converge semantics (idempotency, AMI preload)."""
+
+import pytest
+
+from repro.chef import (
+    ChefNode,
+    ChefRunner,
+    Cookbook,
+    CookbookRepository,
+    ConvergeError,
+    SKIP_COST_S,
+)
+from repro.simcore import SimContext
+
+
+def make_cookbook():
+    book = Cookbook("demo")
+
+    @book.recipe("default")
+    def default(r, node):
+        r.package("python", io_work=20.0, cpu_work=5.0)
+        r.package("condor", io_work=30.0)
+        r.user("galaxy", io_work=1.0)
+        r.directory("/opt/galaxy", io_work=0.5)
+        r.service("condor", io_work=2.0)
+
+    @book.recipe("extras")
+    def extras(r, node):
+        r.package("R", io_work=40.0, cpu_work=10.0)
+        r.execute("setup-db", cpu_work=8.0, creates="db-initialized")
+        r.restart("galaxy", io_work=2.0)
+
+    return book
+
+
+def converge(node, run_list, ctx=None, repo=None):
+    ctx = ctx or SimContext(seed=0)
+    repo = repo or CookbookRepository([make_cookbook()])
+    runner = ChefRunner(ctx, repo)
+    proc = ctx.sim.process(runner.converge(node, run_list))
+    report = ctx.sim.run(until=proc)
+    return ctx, report
+
+
+def test_converge_applies_all_resources():
+    node = ChefNode(name="n1")
+    ctx, report = converge(node, ["demo::default"])
+    assert "python" in node.packages
+    assert "condor" in node.packages
+    assert "galaxy" in node.users
+    assert node.services["condor"] == "running"
+    assert len(report.applied) == 5
+    assert report.duration_s == pytest.approx(20 + 5 + 30 + 1 + 0.5 + 2)
+
+
+def test_run_list_without_recipe_name_uses_default():
+    node = ChefNode(name="n1")
+    _, report = converge(node, ["demo"])
+    assert len(report.applied) == 5
+
+
+def test_second_converge_is_cheap_idempotent():
+    ctx = SimContext(seed=0)
+    repo = CookbookRepository([make_cookbook()])
+    node = ChefNode(name="n1")
+    _, first = converge(node, ["demo::default"], ctx=ctx, repo=repo)
+    _, second = converge(node, ["demo::default"], ctx=ctx, repo=repo)
+    assert len(second.applied) == 0
+    assert len(second.skipped) == 5
+    assert second.duration_s == pytest.approx(5 * SKIP_COST_S)
+    assert second.duration_s < first.duration_s / 5
+
+
+def test_preloaded_ami_packages_are_satisfied():
+    node = ChefNode(name="n1", preloaded=frozenset({"python", "condor"}))
+    _, report = converge(node, ["demo::default"])
+    applied_names = [o.resource for o in report.applied]
+    assert not any("python" in n for n in applied_names)
+    assert not any("Package[condor]" == n for n in applied_names)
+    # but the service and user still converge
+    assert any("UserAccount[galaxy]" == n for n in applied_names)
+
+
+def test_faster_node_converges_faster():
+    slow = ChefNode(name="slow", cpu_factor=1.0, io_factor=1.0)
+    fast = ChefNode(name="fast", cpu_factor=3.9, io_factor=2.05)
+    _, r_slow = converge(slow, ["demo::default", "demo::extras"])
+    _, r_fast = converge(fast, ["demo::default", "demo::extras"])
+    assert r_fast.duration_s < r_slow.duration_s
+
+
+def test_execute_with_creates_marker_skips_on_rerun():
+    ctx = SimContext(seed=0)
+    repo = CookbookRepository([make_cookbook()])
+    node = ChefNode(name="n1")
+    converge(node, ["demo::extras"], ctx=ctx, repo=repo)
+    assert "db-initialized" in node.markers
+    _, second = converge(node, ["demo::extras"], ctx=ctx, repo=repo)
+    # execute skipped, but the restart always reruns
+    actions = {o.resource: o.action for o in second.outcomes}
+    assert actions["Execute[setup-db]"] == "skipped"
+    assert actions["ServiceRestart[galaxy]"] == "applied"
+    assert node.restarts["galaxy"] == 2
+
+
+def test_only_if_guard():
+    book = Cookbook("guarded")
+
+    @book.recipe("default")
+    def default(r, node):
+        r.package("nfs-server", io_work=10.0, only_if=lambda n: "server" in n.name)
+
+    node_a = ChefNode(name="server-1")
+    node_b = ChefNode(name="worker-1")
+    _, ra = converge(node_a, ["guarded"], repo=CookbookRepository([book]))
+    _, rb = converge(node_b, ["guarded"], repo=CookbookRepository([book]))
+    assert len(ra.applied) == 1
+    assert len(rb.applied) == 0
+    assert rb.outcomes[0].action == "guarded"
+
+
+def test_template_rendering_and_idempotency():
+    book = Cookbook("tmpl")
+
+    @book.recipe("default")
+    def default(r, node):
+        r.template(
+            "/etc/galaxy.conf",
+            content="port={{port}}",
+            variables={"port": 8080},
+            io_work=1.0,
+        )
+
+    node = ChefNode(name="n1")
+    repo = CookbookRepository([book])
+    ctx = SimContext(seed=0)
+    converge(node, ["tmpl"], ctx=ctx, repo=repo)
+    assert node.files["/etc/galaxy.conf"]["content"] == "port=8080"
+    _, second = converge(node, ["tmpl"], ctx=ctx, repo=repo)
+    assert len(second.applied) == 0
+
+
+def test_unknown_cookbook_and_recipe():
+    repo = CookbookRepository([make_cookbook()])
+    node = ChefNode(name="n1")
+    ctx = SimContext(seed=0)
+    runner = ChefRunner(ctx, repo)
+    with pytest.raises(KeyError, match="unknown cookbook"):
+        ctx.sim.run(until=ctx.sim.process(runner.converge(node, ["nope"])))
+    ctx2 = SimContext(seed=0)
+    runner2 = ChefRunner(ctx2, CookbookRepository([make_cookbook()]))
+    with pytest.raises(KeyError, match="no recipe"):
+        ctx2.sim.run(until=ctx2.sim.process(runner2.converge(node, ["demo::missing"])))
+
+
+def test_duplicate_recipe_and_cookbook_rejected():
+    book = make_cookbook()
+    with pytest.raises(ValueError, match="duplicate recipe"):
+
+        @book.recipe("default")
+        def again(r, node):
+            pass
+
+    with pytest.raises(ValueError, match="duplicate cookbook"):
+        CookbookRepository([make_cookbook(), make_cookbook()])
+
+
+def test_total_work_reports_full_cost():
+    book = make_cookbook()
+    node = ChefNode(name="n1")
+    io, cpu = book.get("default").total_work(node)
+    assert io == pytest.approx(20 + 30 + 1 + 0.5 + 2)
+    assert cpu == pytest.approx(5.0)
+
+
+def test_failing_resource_raises_converge_error():
+    book = Cookbook("bad")
+
+    @book.recipe("default")
+    def default(r, node):
+        def boom(n):
+            raise RuntimeError("disk full")
+
+        r.execute("explode", cpu_work=1.0, effect=boom)
+
+    node = ChefNode(name="n1")
+    ctx = SimContext(seed=0)
+    runner = ChefRunner(ctx, CookbookRepository([book]))
+    proc = ctx.sim.process(runner.converge(node, ["bad"]))
+    with pytest.raises(ConvergeError, match="disk full"):
+        ctx.sim.run(until=proc)

@@ -1,0 +1,172 @@
+"""Mock EC2 control plane: lifecycle, events, AMIs, billing integration."""
+
+import pytest
+
+from repro.cloud import EC2Error, InstanceState, MockEC2
+from repro.simcore import SimContext
+
+
+def make_ec2(boot_jitter=0.0):
+    ctx = SimContext(seed=1)
+    return ctx, MockEC2(ctx, boot_jitter=boot_jitter)
+
+
+def test_gp_public_ami_is_preregistered():
+    _, ec2 = make_ec2()
+    ami = ec2.images["ami-b12ee0d8"]
+    assert "condor" in ami.preloaded
+    assert "globus-toolkit" in ami.preloaded
+
+
+def test_run_instance_boots_after_type_latency():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    assert inst.state == InstanceState.PENDING
+    ctx.sim.run(until=ec2.when_running(inst.id))
+    assert inst.state == InstanceState.RUNNING
+    assert ctx.now == pytest.approx(inst.itype.boot_latency_s)
+
+
+def test_bigger_instances_boot_faster():
+    ctx, ec2 = make_ec2()
+    (small,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    (xl,) = ec2.run_instances("ami-b12ee0d8", "m1.xlarge")
+    ctx.sim.run()
+    # both running; xlarge's boot latency is smaller
+    assert xl.itype.boot_latency_s < small.itype.boot_latency_s
+
+
+def test_run_multiple_instances():
+    ctx, ec2 = make_ec2()
+    instances = ec2.run_instances("ami-b12ee0d8", "c1.medium", count=3)
+    assert len(instances) == 3
+    assert len({i.id for i in instances}) == 3
+    ctx.sim.run()
+    assert all(i.state == InstanceState.RUNNING for i in instances)
+
+
+def test_unknown_ami_and_keypair_rejected():
+    _, ec2 = make_ec2()
+    with pytest.raises(EC2Error, match="AMI"):
+        ec2.run_instances("ami-nope", "m1.small")
+    with pytest.raises(EC2Error, match="keypair"):
+        ec2.run_instances("ami-b12ee0d8", "m1.small", keypair="missing")
+    with pytest.raises(EC2Error, match="count"):
+        ec2.run_instances("ami-b12ee0d8", "m1.small", count=0)
+
+
+def test_keypair_create_and_duplicate():
+    _, ec2 = make_ec2()
+    kp = ec2.create_keypair("gp-key")
+    assert kp.name == "gp-key"
+    with pytest.raises(EC2Error):
+        ec2.create_keypair("gp-key")
+
+
+def test_stop_then_start_cycle():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    ctx.sim.run()
+    ec2.stop_instances([inst.id])
+    assert inst.state == InstanceState.STOPPING
+    ctx.sim.run()
+    assert inst.state == InstanceState.STOPPED
+    ec2.start_instances([inst.id])
+    ctx.sim.run(until=ec2.when_running(inst.id))
+    assert inst.state == InstanceState.RUNNING
+
+
+def test_stop_non_running_is_error():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    with pytest.raises(EC2Error, match="cannot stop"):
+        ec2.stop_instances([inst.id])
+
+
+def test_terminate_releases_and_is_final():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    ctx.sim.run()
+    ec2.terminate_instances([inst.id])
+    ctx.sim.run()
+    assert inst.state == InstanceState.TERMINATED
+    with pytest.raises(EC2Error):
+        ec2.start_instances([inst.id])
+    with pytest.raises(EC2Error, match="never run"):
+        ec2.when_running(inst.id)
+
+
+def test_terminate_while_pending_fails_waiters():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    waiter = ec2.when_running(inst.id)
+
+    def proc():
+        with pytest.raises(EC2Error, match="terminated before running"):
+            yield waiter
+        return "saw failure"
+
+    p = ctx.sim.process(proc())
+    ec2.terminate_instances([inst.id])
+    assert ctx.sim.run(until=p) == "saw failure"
+    assert inst.state == InstanceState.TERMINATED
+
+
+def test_billing_meters_only_running_time():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")  # boots at t=90
+    ctx.sim.run(until=ec2.when_running(inst.id))
+    start = ctx.now
+    ctx.sim.call_in(3600.0, lambda: ec2.stop_instances([inst.id]))
+    ctx.sim.run()
+    cost = ec2.meter.cost(ctx.now)
+    # exactly one hour of m1.small at the paper price book (0.04/h)
+    assert cost == pytest.approx(0.04, rel=1e-6)
+    assert ec2.meter.instance_hours(ctx.now) == pytest.approx(1.0)
+    assert start == pytest.approx(90.0)
+
+
+def test_describe_with_filters():
+    ctx, ec2 = make_ec2()
+    ec2.run_instances("ami-b12ee0d8", "m1.small", tags={"role": "worker"})
+    ec2.run_instances("ami-b12ee0d8", "c1.medium", tags={"role": "head"})
+    ctx.sim.run()
+    workers = ec2.describe_instances(tag_filters={"role": "worker"})
+    assert len(workers) == 1
+    running = ec2.describe_instances(states=[InstanceState.RUNNING])
+    assert len(running) == 2
+
+
+def test_create_image_snapshots_software():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    ctx.sim.run()
+    inst.tags["software"] = "galaxy,crdata-tools"
+    ami = ec2.create_image(inst.id, "my-preloaded")
+    assert "galaxy" in ami.preloaded
+    assert "condor" in ami.preloaded  # inherited from source AMI
+
+
+def test_boot_jitter_is_deterministic_per_seed():
+    ctx1 = SimContext(seed=9)
+    ec2a = MockEC2(ctx1, boot_jitter=0.1)
+    (a,) = ec2a.run_instances("ami-b12ee0d8", "m1.small")
+    ctx1.sim.run(until=ec2a.when_running(a.id))
+
+    ctx2 = SimContext(seed=9)
+    ec2b = MockEC2(ctx2, boot_jitter=0.1)
+    (b,) = ec2b.run_instances("ami-b12ee0d8", "m1.small")
+    ctx2.sim.run(until=ec2b.when_running(b.id))
+    assert ctx1.now == ctx2.now
+
+
+def test_when_running_on_already_running_instance_fires_immediately():
+    ctx, ec2 = make_ec2()
+    (inst,) = ec2.run_instances("ami-b12ee0d8", "m1.small")
+    ctx.sim.run()
+
+    def proc():
+        got = yield ec2.when_running(inst.id)
+        return got.id
+
+    assert ctx.sim.run(until=ctx.sim.process(proc())) == inst.id

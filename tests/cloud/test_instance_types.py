@@ -1,0 +1,57 @@
+"""Instance-type catalog and alias resolution."""
+
+import pytest
+
+from repro.cloud import ALIASES, CATALOG, resolve
+
+
+def test_catalog_has_the_papers_five_types():
+    assert set(CATALOG) == {"t1.micro", "m1.small", "c1.medium", "m1.large", "m1.xlarge"}
+
+
+def test_resolve_by_api_name():
+    t = resolve("c1.medium")
+    assert t.name == "c1.medium"
+    assert t.cores == 2
+
+
+def test_resolve_by_alias():
+    assert resolve("small").name == "m1.small"
+    assert resolve("extra-large").name == "m1.xlarge"
+    assert resolve("XLARGE").name == "m1.xlarge"
+
+
+def test_resolve_unknown_raises_with_catalog_listing():
+    with pytest.raises(KeyError, match="m1.small"):
+        resolve("m9.gigantic")
+
+
+def test_cpu_factors_increase_with_paper_size_ordering():
+    order = ["t1.micro", "m1.small", "c1.medium", "m1.large", "m1.xlarge"]
+    factors = [CATALOG[n].cpu_factor for n in order]
+    assert factors == sorted(factors)
+    assert CATALOG["m1.small"].cpu_factor == 1.0
+
+
+def test_io_factors_increase_with_size():
+    order = ["m1.small", "c1.medium", "m1.large", "m1.xlarge"]
+    factors = [CATALOG[n].io_factor for n in order]
+    assert factors == sorted(factors)
+
+
+def test_boot_latency_decreases_with_size():
+    assert (
+        CATALOG["m1.xlarge"].boot_latency_s
+        < CATALOG["c1.medium"].boot_latency_s
+        < CATALOG["m1.small"].boot_latency_s
+    )
+
+
+def test_ecu_per_core():
+    assert resolve("c1.medium").ecu_per_core == pytest.approx(2.5)
+    assert resolve("m1.xlarge").ecu_per_core == pytest.approx(2.0)
+
+
+def test_all_aliases_resolve():
+    for alias in ALIASES:
+        assert resolve(alias).name in CATALOG

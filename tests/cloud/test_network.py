@@ -1,0 +1,155 @@
+"""TCP throughput model: formulas, protocol models, Fig. 11 preconditions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import calibration
+from repro.cloud import (
+    NetworkPath,
+    TransferTooLarge,
+    aggregate_rate_bps,
+    ftp_model,
+    globus_model,
+    globus_streams_for,
+    http_model,
+    mathis_limit_bps,
+    slow_start_ramp_s,
+    stream_rate_bps,
+)
+
+MB = calibration.MB
+GB = calibration.GB
+
+
+def test_path_validation():
+    with pytest.raises(ValueError):
+        NetworkPath(rtt_s=0, loss=0.001, bottleneck_bps=1e8)
+    with pytest.raises(ValueError):
+        NetworkPath(rtt_s=0.05, loss=0.0, bottleneck_bps=1e8)
+    with pytest.raises(ValueError):
+        NetworkPath(rtt_s=0.05, loss=0.001, bottleneck_bps=0)
+
+
+def test_mathis_limit_on_paper_wan_is_about_9_mbps():
+    limit = mathis_limit_bps(NetworkPath.paper_wan())
+    assert 8e6 < limit < 10e6
+
+
+def test_stream_rate_window_limited():
+    path = NetworkPath.paper_wan()
+    # tiny window: limited by window/RTT, far below Mathis
+    rate = stream_rate_bps(path, window_bytes=4096)
+    assert rate == pytest.approx(4096 * 8 / path.rtt_s)
+
+
+def test_aggregate_rate_capped_by_bottleneck():
+    path = NetworkPath(rtt_s=0.05, loss=1e-6, bottleneck_bps=10e6)
+    assert aggregate_rate_bps(path, streams=64, window_bytes=1 * MB) == 10e6
+
+
+def test_aggregate_requires_positive_streams():
+    with pytest.raises(ValueError):
+        aggregate_rate_bps(NetworkPath.paper_wan(), streams=0, window_bytes=1024)
+
+
+def test_slow_start_ramp_grows_with_window():
+    path = NetworkPath.paper_wan()
+    assert slow_start_ramp_s(path, 1 * MB) > slow_start_ramp_s(path, 64 * 1024)
+    assert slow_start_ramp_s(path, 1024) == 0.0  # window below one MSS
+
+
+def test_globus_autotune_streams_increase_with_size():
+    assert globus_streams_for(1 * MB) == 1
+    assert globus_streams_for(64 * MB) == 2
+    assert globus_streams_for(1 * GB) == calibration.GO_STREAMS
+
+
+def test_http_cap_at_2gb():
+    path = NetworkPath.paper_wan()
+    model = http_model()
+    model.transfer_seconds(path, 2 * GB)  # at the cap: allowed
+    with pytest.raises(TransferTooLarge):
+        model.transfer_seconds(path, 2 * GB + 1)
+
+
+def test_fig11_anchor_rates_near_paper():
+    """Calibration sanity: endpoints of each series sit near the paper."""
+    path = NetworkPath.paper_wan()
+    go_small = globus_model(1 * MB).effective_rate_mbps(path, 1 * MB)
+    go_big = globus_model(2 * GB).effective_rate_mbps(path, 2 * GB)
+    ftp_small = ftp_model().effective_rate_mbps(path, 1 * MB)
+    ftp_big = ftp_model().effective_rate_mbps(path, 2 * GB)
+    http_any = http_model().effective_rate_mbps(path, 100 * MB)
+    assert 1.4 < go_small < 2.4           # paper: 1.8
+    assert 30 < go_big < 40               # paper: 37
+    assert 0.1 < ftp_small < 0.35         # paper: 0.2
+    assert 5.0 < ftp_big < 6.5            # paper: 5.9
+    assert http_any < 0.03                # paper: < 0.03
+
+
+def test_fig11_ordering_go_beats_ftp_beats_http_everywhere():
+    path = NetworkPath.paper_wan()
+    for size in calibration.FIGURE11_FILE_SIZES:
+        go = globus_model(size).effective_rate_mbps(path, size)
+        ftp = ftp_model().effective_rate_mbps(path, size)
+        if size <= calibration.HTTP_MAX_BYTES:
+            http = http_model().effective_rate_mbps(path, size)
+            assert ftp > http
+        assert go > ftp
+
+
+def test_transfer_seconds_zero_size_is_overhead_only():
+    path = NetworkPath.paper_wan()
+    m = ftp_model()
+    assert m.transfer_seconds(path, 0) == pytest.approx(
+        m.overhead_s + slow_start_ramp_s(path, m.window_bytes)
+    )
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        ftp_model().transfer_seconds(NetworkPath.paper_wan(), -1)
+
+
+@given(st.integers(min_value=1, max_value=4 * GB))
+def test_property_transfer_time_monotone_in_size(size):
+    path = NetworkPath.paper_wan()
+    m = ftp_model()
+    t1 = m.transfer_seconds(path, size)
+    t2 = m.transfer_seconds(path, size + MB)
+    assert t2 > t1
+
+
+@given(
+    st.integers(min_value=1 * MB, max_value=2 * GB),
+    st.integers(min_value=1, max_value=16),
+)
+def test_property_effective_rate_below_steady_rate(size, streams):
+    """Average rate never exceeds the steady-state model rate."""
+    from repro.cloud import ProtocolModel
+
+    path = NetworkPath.paper_wan()
+    m = ProtocolModel(name="x", streams=streams, window_bytes=256 * 1024, overhead_s=1.0)
+    eff_bps = m.effective_rate_mbps(path, size) * 1e6
+    assert eff_bps <= m.steady_rate_bps(path) * (1 + 1e-9)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_property_more_streams_never_slower(streams):
+    path = NetworkPath.paper_wan()
+    r1 = aggregate_rate_bps(path, streams, 256 * 1024)
+    r2 = aggregate_rate_bps(path, streams + 1, 256 * 1024)
+    assert r2 >= r1
+
+
+@given(st.floats(min_value=1e-4, max_value=0.5), st.floats(min_value=1e-6, max_value=0.1))
+def test_property_mathis_decreases_with_rtt_and_loss(rtt, loss):
+    base = NetworkPath(rtt_s=rtt, loss=loss, bottleneck_bps=1e12)
+    worse_rtt = NetworkPath(rtt_s=rtt * 2, loss=loss, bottleneck_bps=1e12)
+    worse_loss = NetworkPath(rtt_s=rtt, loss=min(0.99, loss * 4), bottleneck_bps=1e12)
+    assert mathis_limit_bps(worse_rtt) < mathis_limit_bps(base)
+    assert mathis_limit_bps(worse_loss) < mathis_limit_bps(base)
+    assert math.isfinite(mathis_limit_bps(base))

@@ -1,0 +1,124 @@
+"""Price books and the billing meter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud import BillingMeter, PriceBook
+
+
+def test_paper_book_costs_double_per_size_step():
+    book = PriceBook.paper()
+    sizes = ["m1.small", "c1.medium", "m1.large", "m1.xlarge"]
+    prices = [book.hourly(s) for s in sizes]
+    for lo, hi in zip(prices, prices[1:]):
+        assert hi == pytest.approx(2 * lo)
+
+
+def test_unknown_type_raises():
+    with pytest.raises(KeyError):
+        PriceBook.paper().hourly("m7i.large")
+
+
+def test_negative_price_rejected():
+    with pytest.raises(ValueError):
+        PriceBook({"x": -1.0})
+
+
+def test_proportional_cost_basic():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.stop("i-1", now=1800.0)  # half an hour
+    assert m.cost(now=1800.0) == pytest.approx(0.04 / 2)
+
+
+def test_hourly_mode_rounds_up():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.stop("i-1", now=61.0)  # one minute -> one full hour billed
+    assert m.cost(now=61.0, mode="hourly") == pytest.approx(0.04)
+    assert m.cost(now=61.0, mode="proportional") < 0.001
+
+
+def test_open_interval_priced_to_now():
+    m = BillingMeter()
+    m.start("i-1", "c1.medium", now=0.0)
+    assert m.cost(now=3600.0) == pytest.approx(0.08)
+
+
+def test_double_start_and_bad_stop_rejected():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    with pytest.raises(ValueError):
+        m.start("i-1", "m1.small", now=1.0)
+    with pytest.raises(ValueError):
+        m.stop("i-2", now=1.0)
+
+
+def test_stop_before_start_rejected():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=10.0)
+    with pytest.raises(ValueError):
+        m.stop("i-1", now=5.0)
+
+
+def test_window_clipping_prices_experiment_span_only():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.stop("i-1", now=7200.0)
+    # only the middle hour
+    cost = m.cost(now=7200.0, window=(1800.0, 5400.0))
+    assert cost == pytest.approx(0.04)
+
+
+def test_instance_id_filter():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.start("i-2", "m1.xlarge", now=0.0)
+    m.stop("i-1", now=3600.0)
+    m.stop("i-2", now=3600.0)
+    assert m.cost(now=3600.0, instance_ids=["i-2"]) == pytest.approx(0.32)
+
+
+def test_restart_creates_second_interval():
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.stop("i-1", now=100.0)
+    m.start("i-1", "m1.small", now=200.0)
+    m.stop("i-1", now=300.0)
+    assert len(m.intervals) == 2
+    assert m.instance_hours(now=300.0) == pytest.approx(200.0 / 3600.0)
+
+
+def test_invalid_mode():
+    m = BillingMeter()
+    with pytest.raises(ValueError, match="billing mode"):
+        m.cost(now=0.0, mode="spot")
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1e5), st.floats(0.1, 1e5)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_hourly_never_cheaper_than_proportional(spans):
+    """Round-up billing is always >= per-second billing."""
+    m = BillingMeter()
+    t = 0.0
+    for gap, dur in spans:
+        t += gap
+        iid = f"i-{t}-{dur}"
+        m.start(iid, "m1.small", now=t)
+        t += dur
+        m.stop(iid, now=t)
+    assert m.cost(now=t, mode="hourly") >= m.cost(now=t, mode="proportional") - 1e-12
+
+
+@given(st.floats(min_value=0.1, max_value=1e6))
+def test_property_proportional_cost_linear_in_duration(dur):
+    m = BillingMeter()
+    m.start("i-1", "m1.large", now=0.0)
+    m.stop("i-1", now=dur)
+    assert m.cost(now=dur) == pytest.approx(0.16 * dur / 3600.0)

@@ -1,0 +1,69 @@
+"""Property-based matchmaking checks over random pools and job mixes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import CondorPool, JobState, MachineAd
+from repro.simcore import SimContext
+
+machine_st = st.tuples(
+    st.integers(min_value=1, max_value=4),            # cores
+    st.sampled_from([0.6, 1.7, 7.5, 15.0]),           # memory
+    st.floats(min_value=0.5, max_value=4.0),          # cpu factor
+)
+
+job_st = st.tuples(
+    st.floats(min_value=1.0, max_value=60.0),         # work
+    st.sampled_from([0.0, 1.0, 4.0, 10.0]),           # memory requirement
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machines=st.lists(machine_st, min_size=1, max_size=4),
+    jobs=st.lists(job_st, min_size=1, max_size=10),
+)
+def test_property_memory_requirements_always_honoured(machines, jobs):
+    ctx = SimContext(seed=17)
+    pool = CondorPool(ctx, negotiation_interval_s=5.0)
+    for i, (cores, mem, speed) in enumerate(machines):
+        pool.add_machine(
+            MachineAd(name=f"m{i}", cores=cores, memory_gb=mem, cpu_factor=speed)
+        )
+    submitted = [
+        pool.submit(cpu_work=w, req_memory_gb=req) for w, req in jobs
+    ]
+    max_mem = max(m[1] for m in machines)
+    satisfiable = [j for j, (w, req) in zip(submitted, jobs) if req <= max_mem]
+    unsatisfiable = [j for j, (w, req) in zip(submitted, jobs) if req > max_mem]
+    if satisfiable:
+        ctx.sim.run(
+            until=ctx.sim.all_of([pool.when_done(j) for j in satisfiable])
+        )
+    # every satisfiable job completed on a machine with enough memory
+    by_name = {m.machine.name: m.machine for m in pool.startds.values()}
+    for job, (w, req) in zip(submitted, jobs):
+        if job in satisfiable:
+            assert job.state == JobState.COMPLETED
+            assert by_name[job.machine_name].memory_gb >= req
+    # unsatisfiable jobs never ran
+    for job in unsatisfiable:
+        assert job.state == JobState.IDLE
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    works=st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=8),
+    fast_factor=st.floats(min_value=1.5, max_value=4.0),
+)
+def test_property_default_rank_prefers_faster_machines(works, fast_factor):
+    """With a free fast machine and a free slow one, jobs pick the fast one."""
+    ctx = SimContext(seed=18)
+    pool = CondorPool(ctx, negotiation_interval_s=5.0)
+    pool.add_machine(MachineAd(name="slow", cores=1, memory_gb=8.0, cpu_factor=1.0))
+    pool.add_machine(
+        MachineAd(name="fast", cores=1, memory_gb=8.0, cpu_factor=fast_factor)
+    )
+    first = pool.submit(cpu_work=works[0])
+    ctx.sim.run(until=pool.when_done(first))
+    assert first.machine_name == "fast"

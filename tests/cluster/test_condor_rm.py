@@ -1,0 +1,50 @@
+"""condor_rm semantics."""
+
+import pytest
+
+from repro.cluster import CondorError, CondorPool, JobState, MachineAd
+from repro.simcore import SimContext
+
+
+def make_pool():
+    ctx = SimContext(seed=80)
+    pool = CondorPool(ctx, negotiation_interval_s=5.0)
+    pool.add_machine(MachineAd(name="m", cores=1, memory_gb=8.0, cpu_factor=1.0))
+    return ctx, pool
+
+
+def test_remove_idle_job():
+    ctx, pool = make_pool()
+    running = pool.submit(cpu_work=100.0)
+    queued = pool.submit(cpu_work=100.0)
+    ctx.sim.run(until=10.0)
+    assert queued.state == JobState.IDLE
+    pool.remove_job(queued)
+    assert queued.state == JobState.REMOVED
+    ctx.sim.run(until=pool.when_done(running))
+    assert running.state == JobState.COMPLETED
+    assert queued.state == JobState.REMOVED  # never resurrected
+
+
+def test_remove_running_job_frees_slot():
+    ctx, pool = make_pool()
+    victim = pool.submit(cpu_work=1000.0)
+    waiter = pool.submit(cpu_work=10.0)
+    ctx.sim.run(until=10.0)
+    assert victim.state == JobState.RUNNING
+    pool.remove_job(victim)
+    ctx.sim.run(until=pool.when_done(waiter))
+    assert victim.state == JobState.REMOVED
+    assert waiter.state == JobState.COMPLETED
+    # the slot freed well before the victim would have finished
+    assert ctx.now < 100.0
+
+
+def test_remove_completed_job_rejected():
+    ctx, pool = make_pool()
+    job = pool.submit(cpu_work=10.0)
+    ctx.sim.run(until=pool.when_done(job))
+    with pytest.raises(CondorError, match="already"):
+        pool.remove_job(job)
+    with pytest.raises(CondorError):
+        pool.remove_job(job)

@@ -1,0 +1,55 @@
+"""Condor user fair-share scheduling."""
+
+import pytest
+
+from repro.cluster import CondorPool, JobState, MachineAd
+from repro.simcore import SimContext
+
+
+def make_pool(fair_share=True):
+    ctx = SimContext(seed=50)
+    pool = CondorPool(ctx, negotiation_interval_s=5.0, fair_share=fair_share)
+    pool.add_machine(MachineAd(name="m", cores=1, memory_gb=8.0, cpu_factor=1.0))
+    return ctx, pool
+
+
+def completion_owners(ctx, pool, jobs):
+    ctx.sim.run(until=ctx.sim.all_of([pool.when_done(j) for j in jobs]))
+    done = sorted(jobs, key=lambda j: j.end_time)
+    return [j.owner for j in done]
+
+
+def test_fair_share_alternates_users():
+    ctx, pool = make_pool(fair_share=True)
+    jobs = [pool.submit(cpu_work=10.0, owner="alice") for _ in range(3)]
+    jobs += [pool.submit(cpu_work=10.0, owner="bob") for _ in range(3)]
+    order = completion_owners(ctx, pool, jobs)
+    # after the first job, users alternate rather than draining alice first
+    assert order != ["alice"] * 3 + ["bob"] * 3
+    assert order[:4].count("bob") >= 2
+
+
+def test_fifo_mode_preserves_submission_order():
+    ctx, pool = make_pool(fair_share=False)
+    jobs = [pool.submit(cpu_work=10.0, owner="alice") for _ in range(3)]
+    jobs += [pool.submit(cpu_work=10.0, owner="bob") for _ in range(3)]
+    order = completion_owners(ctx, pool, jobs)
+    assert order == ["alice"] * 3 + ["bob"] * 3
+
+
+def test_usage_accounting():
+    ctx, pool = make_pool()
+    j1 = pool.submit(cpu_work=25.0, owner="alice", io_work=5.0)
+    ctx.sim.run(until=pool.when_done(j1))
+    assert pool.usage_by_owner["alice"] == pytest.approx(30.0)
+
+
+def test_heavy_user_yields_to_new_user():
+    ctx, pool = make_pool()
+    heavy = [pool.submit(cpu_work=50.0, owner="hog") for _ in range(4)]
+    ctx.sim.run(until=pool.when_done(heavy[0]))
+    newcomer = pool.submit(cpu_work=10.0, owner="newbie")
+    ctx.sim.run(until=pool.when_done(newcomer))
+    # the newcomer did not wait for all of hog's queue
+    still_idle = [j for j in heavy if j.state == JobState.IDLE]
+    assert len(still_idle) >= 1

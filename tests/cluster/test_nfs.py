@@ -1,0 +1,154 @@
+"""SimFilesystem, NFS exports, mount tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import FilesystemError, MountTable, NFSServer, SimFilesystem
+
+
+def test_write_read_roundtrip_with_content():
+    fs = SimFilesystem()
+    fs.write("/data/a.txt", data=b"hello")
+    assert fs.read("/data/a.txt") == b"hello"
+    assert fs.stat("/data/a.txt").size == 5
+    assert fs.isdir("/data")
+
+
+def test_bulk_file_has_size_but_no_bytes():
+    fs = SimFilesystem()
+    fs.write("/data/big.zip", size=190_300_000)
+    assert fs.stat("/data/big.zip").size == 190_300_000
+    with pytest.raises(FilesystemError, match="bulk"):
+        fs.read("/data/big.zip")
+
+
+def test_relative_path_rejected():
+    fs = SimFilesystem()
+    with pytest.raises(FilesystemError, match="absolute"):
+        fs.write("data/a", data=b"x")
+
+
+def test_mkdirs_idempotent_and_file_conflicts():
+    fs = SimFilesystem()
+    fs.mkdirs("/a/b/c")
+    fs.mkdirs("/a/b/c")
+    fs.write("/a/b/c/file", data=b"x")
+    with pytest.raises(FilesystemError):
+        fs.mkdirs("/a/b/c/file")
+    with pytest.raises(FilesystemError, match="directory"):
+        fs.write("/a/b", data=b"x")
+
+
+def test_overwrite_replaces():
+    fs = SimFilesystem()
+    fs.write("/f", data=b"one")
+    fs.write("/f", data=b"two!")
+    assert fs.read("/f") == b"two!"
+    assert fs.stat("/f").size == 4
+
+
+def test_remove_file_and_nonempty_dir():
+    fs = SimFilesystem()
+    fs.write("/d/f", data=b"x")
+    with pytest.raises(FilesystemError, match="not empty"):
+        fs.remove("/d")
+    fs.remove("/d/f")
+    fs.remove("/d")
+    assert not fs.exists("/d")
+    with pytest.raises(FilesystemError):
+        fs.remove("/d/f")
+
+
+def test_rename_preserves_content():
+    fs = SimFilesystem()
+    fs.write("/a/x", data=b"payload")
+    fs.rename("/a/x", "/b/y")
+    assert not fs.exists("/a/x")
+    assert fs.read("/b/y") == b"payload"
+
+
+def test_listdir_and_walk():
+    fs = SimFilesystem()
+    fs.write("/h/u1/d1.dat", size=10)
+    fs.write("/h/u1/d2.dat", size=20)
+    fs.write("/h/u2/d3.dat", size=30)
+    assert fs.listdir("/h") == ["u1", "u2"]
+    assert fs.listdir("/h/u1") == ["d1.dat", "d2.dat"]
+    assert fs.total_size("/h") == 60
+    assert fs.total_size("/h/u1") == 30
+    with pytest.raises(FilesystemError):
+        fs.listdir("/nope")
+
+
+def test_nfs_mount_shares_one_namespace():
+    server_fs = SimFilesystem("server")
+    server = NFSServer(fs=server_fs, export="/export/home")
+    node_a = MountTable(SimFilesystem("a"))
+    node_b = MountTable(SimFilesystem("b"))
+    node_a.mount(server, at="/home")
+    node_b.mount(server, at="/home")
+    node_a.write("/home/galaxy/dataset_1.dat", data=b"shared bytes")
+    # visible on the other node and on the server under the export
+    assert node_b.read("/home/galaxy/dataset_1.dat") == b"shared bytes"
+    assert server_fs.read("/export/home/galaxy/dataset_1.dat") == b"shared bytes"
+
+
+def test_mount_resolution_prefers_longest_prefix():
+    server1 = NFSServer(fs=SimFilesystem(), export="/e1")
+    server2 = NFSServer(fs=SimFilesystem(), export="/e2")
+    node = MountTable(SimFilesystem())
+    node.mount(server1, at="/data")
+    node.mount(server2, at="/data/special")
+    node.write("/data/a", data=b"1")
+    node.write("/data/special/b", data=b"2")
+    assert server1.fs.exists("/e1/a")
+    assert server2.fs.exists("/e2/b")
+    assert not server1.fs.exists("/e1/special/b")
+
+
+def test_local_paths_stay_local():
+    node = MountTable(SimFilesystem("local"))
+    server = NFSServer(fs=SimFilesystem(), export="/x")
+    node.mount(server, at="/shared")
+    node.write("/tmp/scratch", data=b"local")
+    assert node.local.exists("/tmp/scratch")
+    assert not server.fs.exists("/x/tmp/scratch")
+
+
+def test_umount_and_busy_mount_point():
+    node = MountTable(SimFilesystem())
+    server = NFSServer(fs=SimFilesystem(), export="/x")
+    node.mount(server, at="/mnt")
+    with pytest.raises(FilesystemError, match="busy"):
+        node.mount(server, at="/mnt")
+    node.umount("/mnt")
+    with pytest.raises(FilesystemError):
+        node.umount("/mnt")
+
+
+_names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@given(st.lists(st.tuples(_names, _names, st.integers(1, 1000)), min_size=1, max_size=20))
+def test_property_total_size_is_sum_of_live_files(entries):
+    fs = SimFilesystem()
+    expected: dict[str, int] = {}
+    for d, f, size in entries:
+        path = f"/{d}/{f}"
+        fs.write(path, size=size)
+        expected[path] = size
+    assert fs.total_size() == sum(expected.values())
+    for path in expected:
+        assert fs.isfile(path)
+
+
+@given(st.lists(_names, min_size=1, max_size=6))
+def test_property_mkdirs_makes_every_prefix_a_dir(parts):
+    fs = SimFilesystem()
+    path = "/" + "/".join(parts)
+    fs.mkdirs(path)
+    cur = ""
+    for p in parts:
+        cur += "/" + p
+        assert fs.isdir(cur)

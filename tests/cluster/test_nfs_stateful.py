@@ -1,0 +1,81 @@
+"""Stateful property testing of SimFilesystem with a model-based oracle."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.cluster import FilesystemError, SimFilesystem
+
+_names = st.sampled_from(["a", "b", "c", "d", "data", "home"])
+
+
+class FilesystemMachine(RuleBasedStateMachine):
+    """Random write/remove/rename sequences vs a dict model."""
+
+    paths = Bundle("paths")
+
+    def __init__(self):
+        super().__init__()
+        self.fs = SimFilesystem()
+        self.model: dict[str, bytes] = {}
+
+    @rule(target=paths, parts=st.lists(_names, min_size=1, max_size=3))
+    def make_path(self, parts):
+        return "/" + "/".join(parts)
+
+    @rule(path=paths, data=st.binary(min_size=0, max_size=32))
+    def write(self, path, data):
+        try:
+            self.fs.write(path, data=data)
+        except FilesystemError:
+            # a rejection is only legitimate when the path conflicts with
+            # existing structure: it is a directory, a model file lives
+            # beneath it, or one of its ancestors is a model file
+            descendant_conflict = any(
+                p.startswith(path + "/") for p in self.model
+            )
+            ancestor_conflict = any(
+                path.startswith(p + "/") for p in self.model
+            )
+            assert descendant_conflict or ancestor_conflict or self.fs.isdir(path)
+            return
+        # writing may implicitly invalidate nothing; record it
+        self.model[path] = data
+        # any model entries that were "under" this file are impossible;
+        # the fs would have rejected those writes earlier, so no cleanup
+
+    @rule(path=paths)
+    def remove(self, path):
+        if path in self.model:
+            self.fs.remove(path)
+            del self.model[path]
+        else:
+            try:
+                self.fs.remove(path)
+            except FilesystemError:
+                pass  # not a file; may be a missing path or busy dir
+            else:
+                # removed an empty directory: fine, not in the file model
+                assert path not in self.model
+
+    @rule(src=paths, dst=paths)
+    def rename(self, src, dst):
+        if src in self.model and src != dst:
+            try:
+                self.fs.rename(src, dst)
+            except FilesystemError:
+                return
+            self.model[dst] = self.model.pop(src)
+
+    @invariant()
+    def files_match_model(self):
+        for path, data in self.model.items():
+            assert self.fs.isfile(path)
+            assert self.fs.read(path) == data
+        assert self.fs.total_size() == sum(len(d) for d in self.model.values())
+
+
+FilesystemMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestFilesystemStateful = FilesystemMachine.TestCase

@@ -1,0 +1,71 @@
+"""NIS domain and node bindings."""
+
+import pytest
+
+from repro.cluster import NISBinding, NISDomain, NISError
+
+
+def test_add_and_lookup_user():
+    dom = NISDomain("simple")
+    u = dom.add_user("boliu")
+    assert u.uid >= 1000
+    assert u.home == "/home/boliu"
+    assert dom.lookup("boliu") is u
+    assert "boliu" in dom
+
+
+def test_uids_unique_and_increasing():
+    dom = NISDomain("simple")
+    u1 = dom.add_user("user1")
+    u2 = dom.add_user("user2")
+    assert u2.uid == u1.uid + 1
+
+
+def test_duplicate_user_rejected():
+    dom = NISDomain("simple")
+    dom.add_user("x")
+    with pytest.raises(NISError):
+        dom.add_user("x")
+
+
+def test_groups_membership():
+    dom = NISDomain("simple")
+    dom.add_group("galaxyusers")
+    dom.add_user("a", groups=("users", "galaxyusers"))
+    assert "a" in dom.groups["galaxyusers"].members
+    with pytest.raises(NISError, match="no such group"):
+        dom.add_user("b", groups=("nope",))
+
+
+def test_remove_user_clears_group_membership():
+    dom = NISDomain("simple")
+    dom.add_user("a")
+    dom.remove_user("a")
+    assert "a" not in dom
+    assert "a" not in dom.groups["users"].members
+    with pytest.raises(NISError):
+        dom.remove_user("a")
+
+
+def test_binding_resolves_domain_users():
+    dom = NISDomain("simple")
+    dom.add_user("remote")
+    binding = NISBinding()
+    assert "remote" not in binding
+    binding.bind(dom)
+    assert "remote" in binding
+    assert binding.lookup("remote").name == "remote"
+
+
+def test_local_accounts_shadow_nis():
+    dom = NISDomain("simple")
+    dom.add_user("galaxy", home="/home/galaxy")
+    binding = NISBinding(dom)
+    binding.add_local("galaxy", home="/opt/galaxy")
+    assert binding.lookup("galaxy").home == "/opt/galaxy"
+
+
+def test_unknown_user_raises():
+    binding = NISBinding(NISDomain("simple"))
+    with pytest.raises(NISError):
+        binding.lookup("ghost")

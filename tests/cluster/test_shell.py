@@ -1,0 +1,87 @@
+"""SSH shells on deployed hosts (Fig. 1 step 5)."""
+
+import pytest
+
+from repro.cluster import SSHError
+from repro.core import CloudTestbed, usecase_topology
+from repro.provision import GlobusProvision
+
+
+@pytest.fixture(scope="module")
+def world():
+    bed = CloudTestbed(seed=40)
+    gp = GlobusProvision(bed)
+    gpi = gp.create(usecase_topology("m1.small", cluster_nodes=1))
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    return bed, gp, gpi
+
+
+def test_ssh_basic_commands(world):
+    bed, gp, gpi = world
+    shell = gpi.deployment.ssh("simple-galaxy-condor", "boliu")
+    assert shell.run("whoami").stdout == "boliu"
+    assert shell.run("hostname").stdout == gpi.deployment.node("simple-galaxy-condor").hostname
+    assert shell.run("pwd").stdout == "/home/boliu"
+
+
+def test_ssh_requires_known_user(world):
+    _, _, gpi = world
+    with pytest.raises(SSHError, match="Permission denied"):
+        gpi.deployment.ssh("simple-galaxy-condor", "intruder")
+
+
+def test_ssh_wrong_keypair_rejected(world):
+    _, _, gpi = world
+    with pytest.raises(SSHError, match="publickey"):
+        gpi.deployment.ssh("simple-galaxy-condor", "boliu", keypair="someone-elses")
+    shell = gpi.deployment.ssh("simple-galaxy-condor", "boliu", keypair="gp-key")
+    assert shell.run("whoami").ok
+
+
+def test_ssh_sees_shared_filesystem(world):
+    bed, _, gpi = world
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu")
+    app.upload_data(history, "visible.txt", data=b"over nfs", ext="txt")
+    shell = gpi.deployment.ssh("simple-condor-wn1", "boliu")
+    listing = shell.run("ls /home/galaxy/database/files")
+    assert listing.ok and "dataset_1.dat" in listing.stdout
+    assert shell.run("cat /home/galaxy/database/files/dataset_1.dat").stdout == "over nfs"
+
+
+def test_ssh_condor_commands(world):
+    bed, _, gpi = world
+    shell = gpi.deployment.ssh("simple-galaxy-condor", "boliu")
+    status = shell.run("condor_status")
+    assert status.ok
+    assert "simple-condor-wn1" in status.stdout
+    queue = shell.run("condor_q")
+    assert queue.ok
+
+
+def test_ssh_service_status_and_unknown_command(world):
+    _, _, gpi = world
+    shell = gpi.deployment.ssh("simple-gridftp", "boliu")
+    result = shell.run("service gridftp status")
+    assert result.ok and "running" in result.stdout
+    bad = shell.run("rm -rf /")
+    assert bad.exit_code == 127
+    missing = shell.run("service nonexistent status")
+    assert missing.exit_code == 3
+
+
+def test_ssh_to_stopped_host_fails(world):
+    bed, gp, gpi = world
+    gp.stop(gpi.id)
+    try:
+        with pytest.raises(SSHError):
+            gpi.deployment.ssh("simple-galaxy-condor", "boliu")
+    finally:
+        def resume():
+            yield from gp.start(gpi.id)
+
+        bed.ctx.sim.run(until=bed.ctx.sim.process(resume()))

@@ -1,0 +1,71 @@
+"""The Galaxy cookbooks: structure and work calibration."""
+
+import pytest
+
+from repro import calibration
+from repro.chef import ChefNode
+from repro.core import GALAXY_HEAD_RUN_LIST, build_repository
+from repro.cloud.ec2 import GP_PUBLIC_AMI_SOFTWARE
+
+
+def test_repository_has_all_recipes():
+    repo = build_repository()
+    for item in [
+        "globus::common", "globus::nfs-server", "globus::nis-server",
+        "globus::gridftp", "globus::myproxy", "globus::condor-head",
+        "globus::condor-worker", "galaxy::galaxy-globus-common",
+        "galaxy::galaxy-globus", "galaxy::galaxy-globus-crdata",
+    ]:
+        assert repo.resolve(item) is not None
+
+
+def test_head_runlist_work_matches_calibration():
+    """The Fig. 10 deployment anchor: non-preloaded converge work on the
+    GP public AMI must sum to the calibrated totals."""
+    repo = build_repository()
+    node = ChefNode(name="head", preloaded=GP_PUBLIC_AMI_SOFTWARE)
+    io_total, cpu_total = 0.0, 0.0
+    for item in GALAXY_HEAD_RUN_LIST:
+        for resource in repo.resolve(item).compile(node):
+            if resource.is_satisfied(node):
+                continue  # preloaded package: verification only
+            io_total += resource.io_work
+            cpu_total += resource.cpu_work
+            resource.apply(node)
+    assert io_total == pytest.approx(calibration.GALAXY_RUNLIST_IO_WORK, rel=0.02)
+    assert cpu_total == pytest.approx(calibration.GALAXY_RUNLIST_CPU_WORK, rel=0.02)
+
+
+def test_crdata_recipe_installs_tool_requirements():
+    """Condor matching depends on the recipe providing what tools require."""
+    from repro.crdata import CRDATA_REQUIREMENTS
+
+    repo = build_repository()
+    node = ChefNode(name="worker")
+    for resource in repo.resolve("galaxy::galaxy-globus-crdata").compile(node):
+        if not resource.is_satisfied(node):
+            resource.apply(node)
+    assert set(CRDATA_REQUIREMENTS) <= node.installed_software
+
+
+def test_galaxy_recipe_configures_endpoint_from_attributes():
+    repo = build_repository()
+    node = ChefNode(name="head")
+    node.attributes.set("normal", {"go_endpoint": "cvrg#galaxy"})
+    for resource in repo.resolve("galaxy::galaxy-globus").compile(node):
+        if not resource.is_satisfied(node):
+            resource.apply(node)
+    assert "cvrg#galaxy" in node.files["/home/galaxy/universe_wsgi.ini"]["content"]
+    assert node.restarts.get("galaxy") == 1
+
+
+def test_common_recipe_is_idempotent_modulo_restarts():
+    repo = build_repository()
+    node = ChefNode(name="n")
+    recipe = repo.resolve("globus::common")
+    for resource in recipe.compile(node):
+        resource.apply(node)
+    unsatisfied = [
+        r for r in recipe.compile(node) if not r.is_satisfied(node)
+    ]
+    assert unsatisfied == []

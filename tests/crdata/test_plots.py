@@ -1,0 +1,84 @@
+"""SVG / ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.crdata import plots
+
+
+def test_scatter_svg_basic():
+    x = np.linspace(0, 1, 50)
+    y = x**2
+    svg = plots.scatter_svg(x, y, "Test scatter")
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert "Test scatter" in svg
+    assert svg.count("<circle") == 50
+
+
+def test_scatter_svg_highlight_colors():
+    x = np.array([0.0, 1.0])
+    y = np.array([0.0, 1.0])
+    svg = plots.scatter_svg(x, y, "t", highlight=np.array([True, False]))
+    assert "#cc3333" in svg and "#3366aa" in svg
+
+
+def test_scatter_svg_thins_huge_inputs():
+    x = np.arange(10_000, dtype=float)
+    svg = plots.scatter_svg(x, x, "big", max_points=100)
+    assert svg.count("<circle") == 100
+
+
+def test_scatter_svg_shape_mismatch():
+    with pytest.raises(ValueError):
+        plots.scatter_svg(np.zeros(3), np.zeros(4), "bad")
+
+
+def test_scatter_svg_constant_values_centered():
+    svg = plots.scatter_svg(np.ones(5), np.ones(5), "flat")
+    assert "<circle" in svg  # no division-by-zero
+
+
+def test_heatmap_svg():
+    m = np.random.default_rng(0).normal(size=(10, 4))
+    svg = plots.heatmap_svg(m, [f"r{i}" for i in range(10)], list("abcd"))
+    assert svg.count("<rect") >= 40  # one per cell + background
+    assert ">a</text>" in svg
+
+
+def test_heatmap_svg_truncates_rows():
+    m = np.zeros((100, 2))
+    svg = plots.heatmap_svg(m, [f"r{i}" for i in range(100)], ["a", "b"], max_rows=10)
+    # only 10 rows of cells drawn (plus background rect)
+    assert svg.count("<rect") == 10 * 2 + 1
+
+
+def test_heatmap_svg_label_mismatch():
+    with pytest.raises(ValueError):
+        plots.heatmap_svg(np.zeros((2, 2)), ["only-one"], ["a", "b"])
+
+
+def test_lines_svg_multi_series():
+    x = np.arange(10, dtype=float)
+    svg = plots.lines_svg({"s1": (x, x), "s2": (x, 2 * x)}, "Lines")
+    assert svg.count("<polyline") == 2
+    assert "s1" in svg and "s2" in svg
+    with pytest.raises(ValueError):
+        plots.lines_svg({}, "empty")
+
+
+def test_boxplot_svg():
+    s = np.array([[0.0], [1.0], [2.0], [3.0], [4.0]])
+    svg = plots.boxplot_svg(s, ["only"], "Box")
+    assert "<rect" in svg and "<line" in svg
+    with pytest.raises(ValueError):
+        plots.boxplot_svg(np.zeros((4, 1)), ["x"], "bad shape")
+
+
+def test_ascii_heatmap():
+    m = np.array([[0.0, 1.0], [0.5, 0.25]])
+    art = plots.ascii_heatmap(m)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert len(lines[0]) == 2
+    assert lines[0][0] == " " and lines[0][1] == "@"  # min/max characters

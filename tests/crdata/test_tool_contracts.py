@@ -1,0 +1,90 @@
+"""Output contracts: every CRData tool's declared outputs are well-formed.
+
+For each of the 35 tools: run it on a suitable input, then check every
+declared output against its extension's format contract — tabular files
+have a consistent tab-separated grid, html figures are SVG documents,
+bam/zip outputs re-parse as their archive formats.
+"""
+
+import pytest
+
+from repro.crdata import build_crdata_tools, install_crdata_tools, sniff
+from repro.galaxy import GalaxyApp, JobState
+from repro.simcore import SimContext
+from repro.workloads import (
+    make_clinical_table,
+    make_expression_matrix_bytes,
+    make_four_cel_archive,
+    make_rnaseq_archive,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    ctx = SimContext(seed=77)
+    app = GalaxyApp(ctx, job_overheads=(0.0, 0.0))
+    install_crdata_tools(app.toolbox)
+    app.create_user("boliu")
+    history = app.create_history("boliu", "contracts")
+    arch = make_four_cel_archive()
+    inputs = {
+        "cel": app.upload_data(history, "cel.zip", data=arch.to_bytes(),
+                               size=arch.declared_size, ext="zip"),
+        "matrix": app.upload_data(history, "m.tsv",
+                                  data=make_expression_matrix_bytes(), ext="tabular"),
+        "bam": app.upload_data(history, "r.bam",
+                               data=make_rnaseq_archive().to_bytes(), ext="bam"),
+        "clinical": app.upload_data(history, "c.tsv", data=make_clinical_table(),
+                                    ext="tabular"),
+    }
+    return app, history, inputs
+
+
+def input_kind(tool_id: str) -> str:
+    if tool_id == "crdata_survivalKaplanMeier":
+        return "clinical"
+    if tool_id.startswith("crdata_affy") or tool_id == "crdata_heatmap_plot_demo":
+        return "cel"
+    if tool_id.startswith("crdata_sequence"):
+        return "bam"
+    return "matrix"
+
+
+def check_tabular(data: bytes) -> None:
+    text = data.decode()
+    rows = [ln for ln in text.splitlines() if ln.strip() and not ln.startswith("#")]
+    assert rows, "tabular output is empty"
+    widths = {len(r.split("\t")) for r in rows}
+    assert len(widths) == 1, f"ragged tabular output: widths {widths}"
+    assert min(widths) >= 2
+
+
+def check_html(data: bytes) -> None:
+    text = data.decode()
+    assert text.startswith("<svg"), "figure output is not SVG"
+    assert text.rstrip().endswith("</svg>")
+
+
+def check_bam(data: bytes) -> None:
+    assert sniff(data) == "bam"
+
+
+CHECKERS = {"tabular": check_tabular, "html": check_html, "bam": check_bam}
+
+
+@pytest.mark.parametrize("tool_id", [t.id for t in build_crdata_tools()])
+def test_tool_output_contract(world, tool_id):
+    app, history, inputs = world
+    tool = app.toolbox.get(tool_id)
+    ds = inputs[input_kind(tool_id)]
+    job = app.run_tool("boliu", history, tool_id, inputs=[ds])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state == JobState.OK, job.stderr
+    for output in tool.outputs:
+        out_ds = job.outputs[output.name]
+        assert out_ds.state.value == "ok"
+        payload = app.fs.read(out_ds.file_path)
+        assert payload, f"output {output.name} is empty"
+        checker = CHECKERS.get(output.ext)
+        if checker is not None:
+            checker(payload)

@@ -1,0 +1,102 @@
+"""The REST-style Galaxy API client."""
+
+import pytest
+
+from repro.galaxy import GalaxyAPIError, GalaxyClient, Workflow
+
+
+@pytest.fixture
+def client(app):
+    return GalaxyClient(app, app.user("boliu").api_key)
+
+
+def test_bad_api_key(app):
+    with pytest.raises(GalaxyAPIError) as err:
+        GalaxyClient(app, "key-deadbeef")
+    assert err.value.status == 401
+
+
+def test_history_lifecycle(client, app):
+    hid = client.create_history("api history")
+    assert {"id": hid, "name": "api history", "size": 0} in client.list_histories()
+    ds_id = client.upload(hid, "notes.txt", data=b"api payload", ext="txt")
+    doc = client.show_history(hid)
+    assert doc["datasets"][0]["id"] == ds_id
+    assert doc["datasets"][0]["state"] == "ok"
+    assert client.download(hid, ds_id) == b"api payload"
+
+
+def test_history_access_control(client, app):
+    app.create_user("other")
+    other_history = app.create_history("other", "private")
+    with pytest.raises(GalaxyAPIError) as err:
+        client.show_history(other_history.id)
+    assert err.value.status == 403
+    with pytest.raises(GalaxyAPIError) as err:
+        client.show_history(999)
+    assert err.value.status == 404
+    # shared history becomes visible but not writable
+    app.share_history(other_history, owner="other", with_user="boliu")
+    assert client.show_history(other_history.id)["name"] == "private"
+    with pytest.raises(GalaxyAPIError) as err:
+        client.upload(other_history.id, "x", data=b"y")
+    assert err.value.status == 403
+
+
+def test_run_tool_and_poll_job(client, app):
+    hid = client.create_history("tool run")
+    ds_id = client.upload(hid, "in.txt", data=b"abc", ext="txt")
+    job_doc = client.run_tool(hid, "upper1", input_ids=[ds_id])
+    assert job_doc.state in ("new", "queued")
+    app.ctx.sim.run(until=client.when_job_done(job_doc.id))
+    final = client.show_job(job_doc.id)
+    assert final.state == "ok"
+    out_id = final.outputs["output"]
+    assert client.download(hid, out_id) == b"ABC"
+
+
+def test_run_unknown_tool_is_400(client):
+    hid = client.create_history("x")
+    with pytest.raises(GalaxyAPIError) as err:
+        client.run_tool(hid, "no_such_tool")
+    assert err.value.status == 400
+
+
+def test_job_of_other_user_is_403(client, app):
+    app.create_user("other")
+    h = app.create_history("other", "their history")
+    ds = app.upload_data(h, "in", data=b"x", ext="txt")
+    job = app.run_tool("other", h, "upper1", inputs=[ds])
+    with pytest.raises(GalaxyAPIError) as err:
+        client.show_job(job.id)
+    assert err.value.status == 403
+
+
+def test_list_tools(client):
+    tools = client.list_tools()
+    assert any(t["id"] == "upper1" for t in tools)
+
+
+def test_workflow_import_export_invoke(client, app):
+    wf = Workflow(name="api-wf")
+    inp = wf.add_input()
+    wf.add_step("upper1", connect={"input": inp})
+    name = client.import_workflow(wf.to_json())
+    assert name == "api-wf"
+    exported = client.export_workflow("api-wf")
+    assert '"api-wf"' in exported
+    hid = client.create_history("wf run")
+    ds_id = client.upload(hid, "x.txt", data=b"run me", ext="txt")
+    result = client.invoke_workflow("api-wf", hid, {inp.id: ds_id})
+    inv = result["invocation"]
+    app.ctx.sim.run(until=app.workflows.when_done(inv))
+    assert inv.state == "ok"
+    with pytest.raises(GalaxyAPIError) as err:
+        client.export_workflow("nope")
+    assert err.value.status == 404
+
+
+def test_import_invalid_workflow_is_400(client):
+    with pytest.raises(GalaxyAPIError) as err:
+        client.import_workflow("{bad json")
+    assert err.value.status == 400

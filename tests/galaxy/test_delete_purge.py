@@ -1,0 +1,38 @@
+"""Dataset deletion and purging (quota recovery)."""
+
+import pytest
+
+from repro.galaxy import DatasetState, GalaxyError
+
+
+def test_delete_hides_but_keeps_bytes(app, history):
+    ds = app.upload_data(history, "keep.txt", data=b"still here", ext="txt")
+    app.delete_dataset(ds)
+    assert ds.deleted
+    assert app.fs.exists(ds.file_path)
+    assert ds not in history.active()
+    assert app.user_disk_usage("boliu") == 0  # deleted data is not counted
+
+
+def test_purge_frees_disk(app, history):
+    ds = app.upload_data(history, "gone.txt", data=b"bye", ext="txt")
+    path = ds.file_path
+    app.delete_dataset(ds, purge=True)
+    assert not app.fs.exists(path)
+    assert ds.size == 0
+    assert ds.state == DatasetState.DISCARDED
+    with pytest.raises(GalaxyError):
+        app.download_dataset(ds)
+
+
+def test_purge_recovers_quota(app, history):
+    app.set_user_quota("boliu", 1000)
+    big = app.upload_data(history, "big", size=900)
+    small_in = app.upload_data(history, "in", data=b"ok", ext="txt")
+    app.upload_data(history, "more", size=200)  # now over quota
+    with pytest.raises(GalaxyError, match="over quota"):
+        app.run_tool("boliu", history, "upper1", inputs=[small_in])
+    app.delete_dataset(big, purge=True)
+    job = app.run_tool("boliu", history, "upper1", inputs=[small_in])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state.value == "ok"

@@ -1,0 +1,55 @@
+"""Data libraries: curated shared datasets (Sec. II-1 warehouses)."""
+
+import pytest
+
+from repro.galaxy import JobState, LibraryError
+
+
+@pytest.fixture
+def library(app):
+    lib = app.libraries.create("CVRG reference data", description="curated")
+    app.libraries.add_item(
+        "CVRG reference data", "reference_matrix.tsv",
+        data=b"#groups: A\tB\nprobe\ts1\ts2\np1\t1\t2\n",
+        ext="tabular", description="tiny reference",
+    )
+    return lib
+
+
+def test_create_and_list(app, library):
+    assert app.libraries.list_for("boliu") == [library]
+    with pytest.raises(LibraryError, match="exists"):
+        app.libraries.create("CVRG reference data")
+    with pytest.raises(LibraryError, match="no such library"):
+        app.libraries.get("nope")
+
+
+def test_import_references_same_payload(app, history, library):
+    item = next(iter(library.items.values()))
+    ds = app.libraries.import_to_history(
+        "CVRG reference data", item.id, history, "boliu"
+    )
+    assert ds.usable
+    assert ds.file_path == item.file_path   # no copy
+    assert "imported from library" in ds.info
+    # and it is immediately usable as a tool input
+    job = app.run_tool("boliu", history, "upper1", inputs=[ds])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state == JobState.OK
+
+
+def test_restricted_library_access(app, history):
+    app.create_user("insider")
+    app.libraries.create("private", restricted_to={"insider"})
+    item = app.libraries.add_item("private", "secret.txt", data=b"s", ext="txt")
+    assert app.libraries.list_for("boliu") == []
+    with pytest.raises(LibraryError, match="may not read"):
+        app.libraries.import_to_history("private", item.id, history, "boliu")
+    insider_history = app.create_history("insider")
+    ds = app.libraries.import_to_history("private", item.id, insider_history, "insider")
+    assert ds.usable
+
+
+def test_missing_item(app, history, library):
+    with pytest.raises(LibraryError, match="no item"):
+        app.libraries.import_to_history("CVRG reference data", 999, history, "boliu")

@@ -1,0 +1,155 @@
+"""Provenance capture/rerun and pages/sharing."""
+
+import pytest
+
+from repro.galaxy import (
+    GalaxyError,
+    JobState,
+    ProvenanceError,
+    SharingError,
+    Workflow,
+)
+
+
+def run_upper(app, history, data=b"abc"):
+    ds = app.upload_data(history, "in.txt", data=data, ext="txt")
+    job = app.run_tool("boliu", history, "upper1", inputs=[ds])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    return ds, job
+
+
+def test_job_record_captured(app, history):
+    ds, job = run_upper(app, history)
+    rec = app.provenance.record_for_job(job.id)
+    assert rec.tool_id == "upper1"
+    assert rec.input_ids == (ds.id,)
+    assert rec.state == "ok"
+    assert rec.output_ids == (job.outputs["output"].id,)
+    assert rec.input_checksums[0] != "?"
+
+
+def test_creating_job_and_lineage(app, history):
+    ds, job1 = run_upper(app, history)
+    out1 = job1.outputs["output"]
+    job2 = app.run_tool("boliu", history, "upper1", inputs=[out1])
+    app.ctx.sim.run(until=app.jobs.when_done(job2))
+    out2 = job2.outputs["output"]
+    rec = app.provenance.creating_job(out2)
+    assert rec.job_id == job2.id
+    chain = app.provenance.lineage(out2, history)
+    assert [r.job_id for r in chain] == [job1.id, job2.id]
+    assert app.provenance.creating_job(ds) is None  # uploaded, not computed
+
+
+def test_export_history(app, history):
+    ds, job = run_upper(app, history)
+    export = app.provenance.export_history(history)
+    assert len(export) == 2
+    created = [e for e in export if e["created_by"] is not None]
+    assert len(created) == 1
+    assert created[0]["created_by"]["tool_id"] == "upper1"
+    assert created[0]["created_by"]["inputs"] == [ds.id]
+
+
+def test_rerun_reproduces_output(app, history):
+    ds, job = run_upper(app, history, data=b"reproduce me")
+    rec = app.provenance.record_for_job(job.id)
+    rerun_job = app.provenance.rerun(rec, history, app.toolbox)
+    app.ctx.sim.run(until=app.jobs.when_done(rerun_job))
+    assert rerun_job.state == JobState.OK
+    original = app.fs.read(job.outputs["output"].file_path)
+    repeated = app.fs.read(rerun_job.outputs["output"].file_path)
+    assert original == repeated == b"REPRODUCE ME"
+
+
+def test_rerun_fails_if_input_deleted(app, history):
+    ds, job = run_upper(app, history)
+    rec = app.provenance.record_for_job(job.id)
+    ds.deleted = True
+    with pytest.raises(ProvenanceError, match="unavailable"):
+        app.provenance.rerun(rec, history, app.toolbox)
+
+
+def test_failed_jobs_are_also_recorded(app, history):
+    ds = app.upload_data(history, "in", data=b"x")
+    job = app.run_tool("boliu", history, "crash1", inputs=[ds])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    rec = app.provenance.record_for_job(job.id)
+    assert rec.state == "error"
+
+
+# -- pages ---------------------------------------------------------------------
+
+
+def test_create_embed_and_publish_page(app, history):
+    ds, job = run_upper(app, history)
+    app.create_user("reader")
+    page = app.pages.create("CVRG analysis", owner="boliu")
+    page.add_text("Differential expression of four CEL files.")
+    page.embed(history, caption="full analysis")
+    page.embed(job.outputs["output"])
+    wf = Workflow(name="shared-wf")
+    inp = wf.add_input()
+    wf.add_step("upper1", connect={"input": inp})
+    page.embed(wf)
+    # private: the reader cannot see it yet
+    with pytest.raises(SharingError, match="may not view"):
+        app.pages.get("cvrg-analysis", as_user="reader")
+    link = app.pages.publish("cvrg-analysis", owner="boliu")
+    assert link == "/u/boliu/p/cvrg-analysis"
+    got = app.pages.get("cvrg-analysis", as_user="reader")
+    assert got.embedded("history") == [history]
+    # the reader can clone the embedded workflow and extend it
+    cloned = got.embedded("workflow")[0].clone()
+    cloned.validate(app.toolbox)
+
+
+def test_share_with_specific_user(app, history):
+    app.create_user("collab")
+    page = app.pages.create("Draft", owner="boliu")
+    app.pages.share("Draft".lower(), owner="boliu", with_user="collab")
+    got = app.pages.get("draft", as_user="collab")
+    assert got.title == "Draft"
+    with pytest.raises(SharingError):
+        app.pages.get("draft", as_user="stranger")
+
+
+def test_only_owner_can_share_or_publish(app):
+    app.pages.create("P", owner="boliu", slug="p")
+    with pytest.raises(SharingError, match="owner"):
+        app.pages.share("p", owner="mallory", with_user="mallory")
+    with pytest.raises(SharingError, match="owner"):
+        app.pages.publish("p", owner="mallory")
+
+
+def test_duplicate_slug_rejected(app):
+    app.pages.create("One", owner="boliu", slug="s")
+    with pytest.raises(SharingError, match="taken"):
+        app.pages.create("Two", owner="boliu", slug="s")
+
+
+def test_published_listing(app):
+    app.pages.create("A", owner="boliu", slug="a")
+    app.pages.create("B", owner="boliu", slug="b")
+    app.pages.publish("a", owner="boliu")
+    assert [p.slug for p in app.pages.published_pages()] == ["a"]
+
+
+# -- app-level odds and ends ---------------------------------------------------
+
+
+def test_duplicate_user_rejected(app):
+    with pytest.raises(GalaxyError):
+        app.create_user("boliu")
+
+
+def test_link_globus_account(app):
+    app.link_globus_account("boliu", "boliu")
+    assert app.user("boliu").globus_username == "boliu"
+
+
+def test_history_panel_rendering(app, history):
+    ds, job = run_upper(app, history)
+    panel = app.history_panel(history)
+    assert panel[0].startswith("1: in.txt [ok]")
+    assert "[ok]" in panel[1]

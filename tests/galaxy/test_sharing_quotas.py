@@ -1,0 +1,136 @@
+"""History sharing/import, dataset download, quotas, workflow JSON export."""
+
+import pytest
+
+from repro.galaxy import DatasetState, GalaxyError, Workflow, WorkflowError
+
+from .conftest import uppercase_tool  # noqa: F401 (fixtures in conftest)
+
+
+# -- history sharing --------------------------------------------------------------
+
+
+def test_share_and_import_history(app, history):
+    ds = app.upload_data(history, "data.txt", data=b"shared payload", ext="txt")
+    app.create_user("collab")
+    with pytest.raises(GalaxyError, match="no access"):
+        app.import_history(history, as_user="collab")
+    app.share_history(history, owner="boliu", with_user="collab")
+    copy = app.import_history(history, as_user="collab")
+    assert copy.user == "collab"
+    assert copy.name.startswith("imported:")
+    assert len(copy.datasets) == 1
+    imported = copy.datasets[0]
+    assert imported.id != ds.id                 # a new history item
+    assert imported.file_path == ds.file_path   # referencing the same payload
+    assert app.download_dataset(imported) == b"shared payload"
+
+
+def test_published_history_importable_by_anyone(app, history):
+    app.upload_data(history, "x", data=b"x")
+    history.published = True
+    app.create_user("stranger")
+    copy = app.import_history(history, as_user="stranger", name="mine now")
+    assert copy.name == "mine now"
+
+
+def test_only_owner_shares(app, history):
+    app.create_user("collab")
+    with pytest.raises(GalaxyError, match="owner"):
+        app.share_history(history, owner="collab", with_user="collab")
+
+
+def test_share_with_unknown_user(app, history):
+    with pytest.raises(GalaxyError, match="no such user"):
+        app.share_history(history, owner="boliu", with_user="ghost")
+
+
+# -- download ("Save" button) -------------------------------------------------------
+
+
+def test_download_dataset(app, history):
+    ds = app.upload_data(history, "t.txt", data=b"save me", ext="txt")
+    assert app.download_dataset(ds) == b"save me"
+
+
+def test_download_errored_dataset_refused(app, history):
+    ds = app.upload_data(history, "t.txt", data=b"x", ext="txt")
+    ds.state = DatasetState.ERROR
+    with pytest.raises(GalaxyError):
+        app.download_dataset(ds)
+
+
+# -- quotas ---------------------------------------------------------------------------
+
+
+def test_disk_usage_accumulates(app, history):
+    app.upload_data(history, "a", size=1000)
+    app.upload_data(history, "b", size=500)
+    assert app.user_disk_usage("boliu") == 1500
+    history.datasets[0].deleted = True
+    assert app.user_disk_usage("boliu") == 500
+
+
+def test_over_quota_blocks_new_jobs(app, history):
+    app.set_user_quota("boliu", 100)
+    ds = app.upload_data(history, "big", size=1000, ext="txt")
+    with pytest.raises(GalaxyError, match="over quota"):
+        app.run_tool("boliu", history, "upper1", inputs=[ds])
+    # freeing space unblocks
+    ds.deleted = True
+    small = app.upload_data(history, "small", data=b"ok", ext="txt")
+    job = app.run_tool("boliu", history, "upper1", inputs=[small])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state.value == "ok"
+
+
+def test_quota_none_is_unlimited(app, history):
+    app.upload_data(history, "big", size=10**12)
+    ds = app.upload_data(history, "in", data=b"x", ext="txt")
+    job = app.run_tool("boliu", history, "upper1", inputs=[ds])
+    app.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state.value == "ok"
+
+
+# -- workflow JSON export/import --------------------------------------------------------
+
+
+def build_wf():
+    wf = Workflow(name="exported", annotation="a pipeline")
+    inp = wf.add_input("in")
+    s1 = wf.add_step("upper1", connect={"input": inp})
+    wf.add_step("cat1", params={}, connect={"first": inp, "second": (s1, "output")})
+    return wf
+
+
+def test_workflow_json_roundtrip(app):
+    wf = build_wf()
+    text = wf.to_json()
+    back = Workflow.from_json(text)
+    assert back.name == wf.name
+    assert back.annotation == "a pipeline"
+    assert set(back.steps) == set(wf.steps)
+    for sid, step in wf.steps.items():
+        assert back.steps[sid].tool_id == step.tool_id
+        assert back.steps[sid].connections == step.connections
+    back.validate(app.toolbox)  # still a valid workflow
+
+
+def test_workflow_roundtrip_runs_identically(app):
+    history = app.create_history("boliu", "roundtrip")
+    wf = build_wf()
+    back = Workflow.from_json(wf.to_json())
+    ds = app.upload_data(history, "x", data=b"ab", ext="txt")
+    inp_id = back.input_steps()[0].id
+    inv = app.workflows.invoke(back, history, user="boliu", inputs={inp_id: ds})
+    app.ctx.sim.run(until=app.workflows.when_done(inv))
+    assert inv.state == "ok"
+    final = max(s.id for s in back.tool_steps())
+    assert app.fs.read(inv.jobs[final].outputs["output"].file_path) == b"ab\nAB"
+
+
+def test_workflow_from_bad_json():
+    with pytest.raises(WorkflowError, match="bad workflow JSON"):
+        Workflow.from_json("{not json")
+    with pytest.raises(WorkflowError, match="not a workflow export"):
+        Workflow.from_json('{"format": "other"}')

@@ -1,0 +1,23 @@
+"""Tool-panel search."""
+
+from repro.crdata import install_crdata_tools
+from repro.galaxy import Toolbox
+
+
+def test_search_by_name_and_description():
+    box = Toolbox()
+    install_crdata_tools(box)
+    hits = box.search("differential")
+    ids = {t.id for t in hits}
+    assert "crdata_affyDifferentialExpression" in ids
+    assert "crdata_sequenceDifferentialExperssion" in ids
+    assert all("differential" in (t.id + t.name + t.description).lower() for t in hits)
+
+
+def test_search_case_insensitive_and_empty():
+    box = Toolbox()
+    install_crdata_tools(box)
+    assert box.search("KAPLAN")
+    assert box.search("zzzznope") == []
+    # empty query matches everything
+    assert len(box.search("")) == len(box)

@@ -1,0 +1,114 @@
+"""Tool definitions, parameter validation, toolbox."""
+
+import pytest
+
+from repro.galaxy import Tool, Toolbox, ToolError, ToolOutput, ToolParameter
+
+
+def test_parameter_coercion():
+    assert ToolParameter(name="n", type="integer").validate("42") == 42
+    assert ToolParameter(name="x", type="float").validate("1.5") == 1.5
+    assert ToolParameter(name="b", type="boolean").validate("yes") is True
+    assert ToolParameter(name="b", type="boolean").validate("no") is False
+    assert ToolParameter(name="t", type="text").validate(7) == "7"
+
+
+def test_required_parameter_missing():
+    with pytest.raises(ToolError, match="required"):
+        ToolParameter(name="n", type="integer").validate(None)
+
+
+def test_optional_and_default():
+    assert ToolParameter(name="n", type="integer", optional=True).validate(None) is None
+    assert ToolParameter(name="n", type="integer", default=3).validate(None) == 3
+
+
+def test_select_options():
+    p = ToolParameter(name="mode", type="select", options=("fast", "slow"))
+    assert p.validate("fast") == "fast"
+    with pytest.raises(ToolError, match="not in"):
+        p.validate("medium")
+
+
+def test_bad_coercion_reports_parameter():
+    with pytest.raises(ToolError, match="'n'"):
+        ToolParameter(name="n", type="integer").validate("abc")
+
+
+def test_unknown_type():
+    with pytest.raises(ToolError, match="unknown type"):
+        ToolParameter(name="z", type="color").validate("red")
+
+
+def test_output_extension_checked():
+    with pytest.raises(ToolError, match="unknown extension"):
+        ToolOutput(name="o", ext="exe")
+
+
+def test_tool_from_config():
+    tool = Tool.from_config(
+        {
+            "id": "t1",
+            "name": "Tool One",
+            "version": "2.1",
+            "parameters": [
+                {"name": "input", "type": "data"},
+                {"name": "cutoff", "type": "float", "default": 0.05},
+            ],
+            "outputs": [{"name": "out", "ext": "tabular"}],
+            "requirements": ["R", "bioconductor"],
+        },
+        execute=lambda run: None,
+    )
+    assert tool.version == "2.1"
+    assert tool.param("cutoff").default == 0.05
+    assert tool.requirements == ("R", "bioconductor")
+    assert [p.name for p in tool.data_params()] == ["input"]
+
+
+def test_tool_config_missing_id():
+    with pytest.raises(ToolError, match="missing"):
+        Tool.from_config({"name": "x"})
+
+
+def test_duplicate_parameters_rejected():
+    with pytest.raises(ToolError, match="duplicate parameter"):
+        Tool(
+            id="t",
+            name="t",
+            parameters=[ToolParameter(name="a"), ToolParameter(name="a")],
+        )
+
+
+def test_validate_params_rejects_unknown():
+    tool = Tool(id="t", name="t", parameters=[ToolParameter(name="a", default="x")])
+    with pytest.raises(ToolError, match="unknown parameters"):
+        tool.validate_params({"zzz": 1})
+    assert tool.validate_params({}) == {"a": "x"}
+
+
+def test_validate_params_skips_data_params():
+    tool = Tool(
+        id="t",
+        name="t",
+        parameters=[ToolParameter(name="input", type="data"), ToolParameter(name="k", default=1, type="integer")],
+    )
+    out = tool.validate_params({})
+    assert out == {"k": 1}
+
+
+def test_toolbox_sections_and_lookup():
+    box = Toolbox()
+    t1 = Tool(id="a", name="A", execute=lambda r: None)
+    t2 = Tool(id="b", name="B", execute=lambda r: None)
+    box.register(t1, section="NGS")
+    box.register(t2, section="Statistics")
+    assert box.get("a") is t1
+    assert "b" in box
+    assert len(box) == 2
+    sections = box.sections()
+    assert [t.id for t in sections["NGS"]] == ["a"]
+    with pytest.raises(ToolError, match="no such tool"):
+        box.get("zzz")
+    with pytest.raises(ToolError, match="already registered"):
+        box.register(t1)

@@ -1,0 +1,92 @@
+"""Galaxy's stock HTTP/FTP upload tools on a deployed instance."""
+
+import pytest
+
+from repro.calibration import GB, MB
+from repro.core import CloudTestbed, usecase_topology
+from repro.galaxy import JobState, UPLOAD_FTP_TOOL_ID, UPLOAD_HTTP_TOOL_ID
+from repro.provision import GlobusProvision
+
+
+@pytest.fixture(scope="module")
+def world():
+    bed = CloudTestbed(seed=30)
+    gp = GlobusProvision(bed)
+    gpi = gp.create(usecase_topology("c1.medium", cluster_nodes=1))
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    return bed, gpi.deployment.galaxy
+
+
+def run_job(bed, app, job):
+    bed.ctx.sim.run(until=app.jobs.when_done(job))
+    return job
+
+
+def test_http_upload_small_file(world):
+    bed, app = world
+    bed.laptop_fs.write("/home/boliu/notes.txt", data=b"field notes")
+    history = app.create_history("boliu", "http upload")
+    job = run_job(bed, app, app.run_tool(
+        "boliu", history, UPLOAD_HTTP_TOOL_ID,
+        params={"path": "/home/boliu/notes.txt"},
+    ))
+    assert job.state == JobState.OK
+    ds = job.outputs["output"]
+    assert ds.name == "notes.txt"
+    assert app.fs.read(ds.file_path) == b"field notes"
+    assert "http upload" in ds.info
+
+
+def test_http_upload_rejects_over_2gb(world):
+    bed, app = world
+    bed.laptop_fs.write("/home/boliu/huge.bin", size=2 * GB + 1)
+    history = app.create_history("boliu", "too big")
+    job = run_job(bed, app, app.run_tool(
+        "boliu", history, UPLOAD_HTTP_TOOL_ID,
+        params={"path": "/home/boliu/huge.bin"},
+    ))
+    assert job.state == JobState.ERROR
+    assert "2 GB" in job.stderr
+    assert "Globus Transfer" in job.stderr  # points the user at the fix
+
+
+def test_ftp_upload_beats_http_on_medium_files(world):
+    bed, app = world
+    bed.laptop_fs.write("/home/boliu/mid.bin", size=20 * MB)
+    history = app.create_history("boliu", "races")
+    ftp_job = run_job(bed, app, app.run_tool(
+        "boliu", history, UPLOAD_FTP_TOOL_ID, params={"path": "/home/boliu/mid.bin"},
+    ))
+    http_job = run_job(bed, app, app.run_tool(
+        "boliu", history, UPLOAD_HTTP_TOOL_ID, params={"path": "/home/boliu/mid.bin"},
+    ))
+    assert ftp_job.state == http_job.state == JobState.OK
+    assert ftp_job.wall_s < http_job.wall_s / 5
+
+
+def test_ftp_upload_disabled_by_config(world):
+    bed, app = world
+    app.config.ftp_upload_enabled = False
+    try:
+        bed.laptop_fs.write("/home/boliu/x.txt", data=b"x")
+        history = app.create_history("boliu", "no ftp")
+        job = run_job(bed, app, app.run_tool(
+            "boliu", history, UPLOAD_FTP_TOOL_ID, params={"path": "/home/boliu/x.txt"},
+        ))
+        assert job.state == JobState.ERROR
+        assert "disabled" in job.stderr
+    finally:
+        app.config.ftp_upload_enabled = True
+
+
+def test_upload_missing_local_file(world):
+    bed, app = world
+    history = app.create_history("boliu", "missing")
+    job = run_job(bed, app, app.run_tool(
+        "boliu", history, UPLOAD_FTP_TOOL_ID, params={"path": "/home/boliu/ghost"},
+    ))
+    assert job.state == JobState.ERROR

@@ -1,0 +1,237 @@
+"""Cross-subsystem integration: everything wired together at once."""
+
+import pytest
+
+from repro.core import (
+    AFFY_CEL_PATH,
+    CVRG_DATA_ENDPOINT,
+    FOUR_CEL_PATH,
+    CloudTestbed,
+    usecase_topology,
+)
+from repro.galaxy import JobState, Workflow
+from repro.provision import GlobusProvision
+from repro.tools_globus import GET_DATA_TOOL_ID, SEND_DATA_TOOL_ID
+
+
+def deploy(bed, topology):
+    gp = GlobusProvision(bed)
+    gpi = gp.create(topology)
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    return gp, gpi
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One deployed cluster shared by the read-mostly tests in this module."""
+    bed = CloudTestbed(seed=20)
+    gp, gpi = deploy(bed, usecase_topology("c1.medium", cluster_nodes=2))
+    return bed, gp, gpi
+
+
+def run_job(bed, app, job):
+    bed.ctx.sim.run(until=app.jobs.when_done(job))
+    return job
+
+
+def test_workflow_dag_over_deployed_cluster(world):
+    """Compose GO-fetch output through a 3-step CRData workflow on Condor."""
+    bed, gp, gpi = world
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu", "wf integration")
+    fetch = run_job(bed, app, app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    ))
+    assert fetch.state == JobState.OK
+    cel_ds = fetch.outputs["output"]
+
+    wf = Workflow(name="normalize-filter-de")
+    inp = wf.add_input("CEL archive")
+    norm = wf.add_step("crdata_affyNormalize", connect={"input": inp})
+    filt = wf.add_step(
+        "crdata_affyFilterProbes",
+        params={"top_n": 500},
+        connect={"input": (norm, "matrix")},
+    )
+    de = wf.add_step(
+        "crdata_matrixModeratedTTest",
+        params={"top_n": 20},
+        connect={"input": (filt, "matrix")},
+    )
+    app.save_workflow(wf)
+    inv = app.run_workflow("boliu", "normalize-filter-de", history, {inp.id: cel_ds})
+    bed.ctx.sim.run(until=app.workflows.when_done(inv))
+    assert inv.state == "ok"
+    # all three steps ran on the condor workers
+    machines = {job.machine for job in inv.jobs.values()}
+    assert machines <= {"simple-condor-wn1", "simple-condor-wn2"}
+    table = app.fs.read(inv.jobs[de.id].outputs["top_table"].file_path).decode()
+    assert table.startswith("probe\tlogFC")
+    assert len(table.strip().splitlines()) == 21
+
+
+def test_provenance_captures_and_reruns_on_cluster(world):
+    bed, gp, gpi = world
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu", "prov integration")
+    fetch = run_job(bed, app, app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    ))
+    de = run_job(bed, app, app.run_tool(
+        "boliu", history, "crdata_affyDifferentialExpression",
+        params={"top_n": 25}, inputs=[fetch.outputs["output"]],
+    ))
+    record = app.provenance.record_for_job(de.id)
+    assert record.machine.startswith("simple-condor-wn")
+    rerun = app.provenance.rerun(record, history, app.toolbox)
+    run_job(bed, app, rerun)
+    assert rerun.state == JobState.OK
+    original = app.fs.read(de.outputs["top_table"].file_path)
+    repeated = app.fs.read(rerun.outputs["top_table"].file_path)
+    assert original == repeated  # bit-identical reproduction
+
+
+def test_round_trip_fetch_analyse_send(world):
+    """Fig. 6 full circle: fetch -> analyse -> send results to the laptop."""
+    bed, gp, gpi = world
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu", "roundtrip")
+    fetch = run_job(bed, app, app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    ))
+    de = run_job(bed, app, app.run_tool(
+        "boliu", history, "crdata_affyDifferentialExpression",
+        params={"top_n": 10}, inputs=[fetch.outputs["output"]],
+    ))
+    send = run_job(bed, app, app.run_tool(
+        "boliu", history, SEND_DATA_TOOL_ID,
+        params={"endpoint": "boliu#laptop", "path": "/home/boliu/toptable.tsv"},
+        inputs=[de.outputs["top_table"]],
+    ))
+    assert send.state == JobState.OK
+    table = bed.laptop_fs.read("/home/boliu/toptable.tsv").decode()
+    assert table.startswith("probe\tlogFC")
+
+
+def test_concurrent_users_share_the_pool(world):
+    """Sec. V-A: 'the same approach can be applied for concurrent execution
+    when multiple users submit tasks for execution at the same time'."""
+    bed, gp, gpi = world
+    app = gpi.deployment.galaxy
+    from repro.workloads import make_expression_matrix_bytes
+
+    data = make_expression_matrix_bytes()
+    jobs = []
+    for user in ("boliu", "user2"):
+        history = app.create_history(user, f"{user} work")
+        for i in range(2):
+            ds = app.upload_data(history, f"{user}-{i}.tsv", data=data, ext="tabular")
+            jobs.append(app.run_tool(user, history, "crdata_matrixTTest", inputs=[ds]))
+    bed.ctx.sim.run(until=bed.ctx.sim.all_of([app.jobs.when_done(j) for j in jobs]))
+    assert all(j.state == JobState.OK for j in jobs)
+    owners = {j.user for j in jobs}
+    assert owners == {"boliu", "user2"}
+    # the Condor pool served both users across its machines
+    assert {j.machine for j in jobs} <= {"simple-condor-wn1", "simple-condor-wn2"}
+
+
+def test_pages_share_the_full_analysis(world):
+    bed, gp, gpi = world
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu", "published analysis")
+    fetch = run_job(bed, app, app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    ))
+    page = app.pages.create("Cardio results", owner="boliu", slug="cardio")
+    page.add_text("Differential expression of four CEL samples.")
+    page.embed(history)
+    link = app.pages.publish("cardio", owner="boliu")
+    assert link == "/u/boliu/p/cardio"
+    got = app.pages.get("cardio", as_user="user2")
+    embedded_history = got.embedded("history")[0]
+    assert embedded_history.datasets[0].name == "fourCelFileSamples.zip"
+    # reproduce from the page: rerun provenance of the embedded history
+    export = app.provenance.export_history(embedded_history)
+    assert any(
+        e["created_by"] and e["created_by"]["tool_id"] == "globus_get_data"
+        for e in export
+    )
+
+
+def test_faulty_network_still_completes_usecase():
+    """Globus Transfer's retry machinery absorbs a 25% fault rate."""
+    from repro.core import run_usecase
+
+    bed = CloudTestbed(seed=21, fault_rate=0.25)
+    result = run_usecase(bed=bed, scale_up_with=None, run_large=False)
+    assert result.step3_job.state == JobState.OK
+    # faults occurred somewhere and were retried
+    faults = sum(t.faults for t in bed.go.tasks.values())
+    assert faults >= 1
+
+
+def test_stop_resume_preserves_galaxy_state():
+    bed = CloudTestbed(seed=22)
+    gp, gpi = deploy(bed, usecase_topology("m1.small", cluster_nodes=1))
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu", "persistent")
+    ds = app.upload_data(history, "note.txt", data=b"before stop", ext="txt")
+    gp.stop(gpi.id)
+    bed.ctx.sim.run(until=bed.ctx.now + 3600.0)
+
+    def resume():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(resume()))
+    # dataset still there (EBS-backed stop/start keeps the disk)
+    assert app.fs.read(ds.file_path) == b"before stop"
+    job = app.run_tool("boliu", history, "crdata_survivalKaplanMeier", inputs=[
+        app.upload_data(
+            history, "clinical.tsv",
+            data=__import__("repro.workloads", fromlist=["x"]).make_clinical_table(),
+            ext="tabular",
+        )
+    ])
+    bed.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state == JobState.OK
+
+
+def test_multi_domain_topology_deploys_independent_stacks():
+    """GP topologies can define several domains (Sec. III-D)."""
+    from repro.provision import DomainSpec, EC2Spec, Topology
+
+    bed = CloudTestbed(seed=23)
+    topo = Topology(
+        domains=(
+            DomainSpec(
+                name="alpha", users=("boliu",), galaxy=True, condor=True,
+                gridftp=True, cluster_nodes=1, go_endpoint="boliu#alpha",
+            ),
+            DomainSpec(
+                name="beta", users=("user2",), galaxy=True, condor=True,
+                cluster_nodes=1,
+            ),
+        ),
+        ec2=EC2Spec(instance_type="m1.small"),
+    )
+    gp, gpi = deploy(bed, topo)
+    dep = gpi.deployment
+    assert "alpha-galaxy-condor" in dep.nodes
+    assert "beta-galaxy-condor" in dep.nodes
+    alpha, beta = dep.domains["alpha"], dep.domains["beta"]
+    assert alpha.galaxy is not beta.galaxy
+    assert alpha.endpoint_name == "boliu#alpha"
+    assert beta.endpoint_name is None  # no gridftp in beta
+    assert "boliu" in alpha.galaxy.users
+    assert "user2" in beta.galaxy.users
+    # domain pools are independent
+    assert alpha.pool is not beta.pool
+    assert alpha.pool.machine_names() == ["alpha-condor-wn1"]

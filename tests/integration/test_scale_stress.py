@@ -1,0 +1,54 @@
+"""Scale stress: many users, many jobs, wide pool — everything holds."""
+
+import pytest
+
+from repro.core import CloudTestbed, usecase_topology
+from repro.galaxy import JobState
+from repro.provision import GlobusProvision
+from repro.workloads import make_expression_matrix_bytes
+
+
+def test_hundred_jobs_eight_workers_four_users():
+    bed = CloudTestbed(seed=100)
+    gp = GlobusProvision(bed)
+    gpi = gp.create(usecase_topology("c1.medium", cluster_nodes=8,
+                                     users=("u1", "u2", "u3", "u4")))
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    app = gpi.deployment.galaxy
+    data = make_expression_matrix_bytes(n_probes=500)
+    jobs = []
+    t0 = bed.ctx.now
+    for u in ("u1", "u2", "u3", "u4"):
+        h = app.create_history(u)
+        for i in range(25):
+            ds = app.upload_data(h, f"{u}-{i}.tsv", data=data,
+                                 size=20 * 1024 * 1024, ext="tabular")
+            jobs.append(app.run_tool(u, h, "crdata_matrixTTest", inputs=[ds]))
+    bed.ctx.sim.run(until=bed.ctx.sim.all_of([app.jobs.when_done(j) for j in jobs]))
+    makespan = bed.ctx.now - t0
+
+    assert len(jobs) == 100
+    assert all(j.state == JobState.OK for j in jobs)
+    # all 8 workers carried load
+    machines = {j.machine for j in jobs}
+    assert len(machines) == 8
+    # fair share: each user's jobs finished interleaved, not serially;
+    # compare median completion per user — they should be close
+    import statistics
+
+    medians = {}
+    for u in ("u1", "u2", "u3", "u4"):
+        medians[u] = statistics.median(
+            j.end_time for j in jobs if j.user == u
+        )
+    spread = max(medians.values()) - min(medians.values())
+    assert spread < makespan * 0.25
+    # sanity: pool parallelism actually helped (makespan well under serial)
+    serial_estimate = sum(
+        (j.end_time - j.start_time) for j in jobs
+    )
+    assert makespan < serial_estimate / 4

@@ -1,0 +1,133 @@
+"""The gp-instance CLI: the paper's command workflow (Sec. V-A)."""
+
+import json
+
+import pytest
+
+from repro.provision import PAPER_GALAXY_CONF, Topology, with_extra_worker
+from repro.provision.cli import main
+
+
+@pytest.fixture
+def home(tmp_path, monkeypatch):
+    monkeypatch.setenv("GP_SIM_HOME", str(tmp_path / "gp-sim"))
+    conf = tmp_path / "galaxy.conf"
+    # m1.small for speed parity with the paper's small runs
+    conf.write_text(PAPER_GALAXY_CONF.replace("t1.micro", "m1.small"))
+    return tmp_path
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def create_instance(home, capsys):
+    code, out, _ = run_cli(capsys, "create", "-c", str(home / "galaxy.conf"))
+    assert code == 0
+    return out.strip().split()[-1]
+
+
+def test_create_prints_instance_id(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    assert gpi_id.startswith("gpi-")
+
+
+def test_create_bad_file(home, capsys):
+    code, _, err = run_cli(capsys, "create", "-c", str(home / "nope.conf"))
+    assert code == 1
+    assert "error" in err
+
+
+def test_start_and_describe(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    code, out, _ = run_cli(capsys, "start", gpi_id)
+    assert code == 0
+    assert f"Starting instance {gpi_id}... done!" in out
+    assert "simulated deployment time" in out
+
+    code, out, _ = run_cli(capsys, "describe", gpi_id)
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["state"] == "Running"
+    names = {h["name"] for h in doc["hosts"]}
+    assert "simple-galaxy-condor" in names
+    assert doc["galaxy_url"].startswith("http://")
+
+
+def test_start_unknown_instance(home, capsys):
+    code, _, err = run_cli(capsys, "start", "gpi-ffffffff")
+    assert code == 1 and "no such instance" in err
+
+
+def test_double_start_rejected(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    run_cli(capsys, "start", gpi_id)
+    code, _, err = run_cli(capsys, "start", gpi_id)
+    assert code == 1 and "Running" in err
+
+
+def test_update_adds_host(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    run_cli(capsys, "start", gpi_id)
+    old = Topology.from_conf((home / "galaxy.conf").read_text())
+    new = with_extra_worker(old, "simple", "c1.medium")
+    newfile = home / "newtopology.json"
+    newfile.write_text(new.to_json())
+    code, out, _ = run_cli(capsys, "update", "-t", str(newfile), gpi_id)
+    assert code == 0
+    assert "simple-condor-wn3" in out
+
+    code, out, _ = run_cli(capsys, "describe", gpi_id)
+    doc = json.loads(out)
+    wn3 = next(h for h in doc["hosts"] if h["name"] == "simple-condor-wn3")
+    assert wn3["instance_type"] == "c1.medium"
+
+
+def test_update_requires_running(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    newfile = home / "t.json"
+    newfile.write_text(
+        Topology.from_conf((home / "galaxy.conf").read_text()).to_json()
+    )
+    code, _, err = run_cli(capsys, "update", "-t", str(newfile), gpi_id)
+    assert code == 1 and "New" in err
+
+
+def test_stop_resume_terminate_cycle(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    run_cli(capsys, "start", gpi_id)
+    code, out, _ = run_cli(capsys, "stop", gpi_id)
+    assert code == 0 and "Stopping" in out
+    code, out, _ = run_cli(capsys, "start", gpi_id)  # resume
+    assert code == 0 and "Resuming" in out
+    code, out, _ = run_cli(capsys, "terminate", gpi_id)
+    assert code == 0 and "Terminating" in out
+    # terminated instances cannot be resumed (Fig. 1 step 6)
+    code, _, err = run_cli(capsys, "start", gpi_id)
+    assert code == 1 and "Terminated" in err
+
+
+def test_ssh_subcommand(home, capsys):
+    gpi_id = create_instance(home, capsys)
+    run_cli(capsys, "start", gpi_id)
+    code, out, _ = run_cli(
+        capsys, "ssh", gpi_id, "simple-galaxy-condor", "-u", "user1", "-c", "whoami"
+    )
+    assert code == 0
+    assert out.strip() == "user1"
+    code, _, err = run_cli(
+        capsys, "ssh", gpi_id, "simple-galaxy-condor", "-u", "nobody"
+    )
+    assert code == 1 and "Permission denied" in err
+
+
+def test_list(home, capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert "(no instances)" in out
+    a = create_instance(home, capsys)
+    b = create_instance(home, capsys)
+    code, out, _ = run_cli(capsys, "list")
+    assert a in out and b in out
+    assert a != b

@@ -1,0 +1,91 @@
+"""Deployment edge configurations."""
+
+import pytest
+
+from repro.core import CloudTestbed
+from repro.galaxy import JobState
+from repro.provision import (
+    DeploymentError,
+    DomainSpec,
+    EC2Spec,
+    GlobusProvision,
+    Topology,
+)
+from repro.workloads import make_expression_matrix_bytes
+
+
+def deploy(bed, topology):
+    gp = GlobusProvision(bed)
+    gpi = gp.create(topology)
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    return gp, gpi
+
+
+def test_galaxy_without_condor_runs_jobs_locally():
+    """condor: no  ->  jobs execute on the Galaxy head itself."""
+    bed = CloudTestbed(seed=90)
+    topo = Topology(
+        domains=(
+            DomainSpec(name="solo", users=("boliu",), galaxy=True, crdata=True),
+        ),
+        ec2=EC2Spec(instance_type="c1.medium"),
+    )
+    gp, gpi = deploy(bed, topo)
+    app = gpi.deployment.galaxy
+    h = app.create_history("boliu")
+    ds = app.upload_data(h, "m.tsv", data=make_expression_matrix_bytes(), ext="tabular")
+    job = app.run_tool("boliu", h, "crdata_matrixTTest", inputs=[ds])
+    bed.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state == JobState.OK
+    assert job.machine == "solo-galaxy-condor"
+
+
+def test_condor_requested_with_zero_workers_falls_back_to_local():
+    bed = CloudTestbed(seed=91)
+    topo = Topology(
+        domains=(
+            DomainSpec(
+                name="d", users=("boliu",), galaxy=True, condor=True,
+                crdata=True, cluster_nodes=0,
+            ),
+        ),
+        ec2=EC2Spec(instance_type="m1.small"),
+    )
+    gp, gpi = deploy(bed, topo)
+    app = gpi.deployment.galaxy
+    h = app.create_history("boliu")
+    ds = app.upload_data(h, "m.tsv", data=make_expression_matrix_bytes(), ext="tabular")
+    job = app.run_tool("boliu", h, "crdata_matrixTTest", inputs=[ds])
+    bed.ctx.sim.run(until=app.jobs.when_done(job))
+    assert job.state == JobState.OK
+    assert job.machine == "d-galaxy-condor"
+
+
+def test_gridftp_only_domain_has_endpoint_but_no_galaxy():
+    bed = CloudTestbed(seed=92)
+    topo = Topology(
+        domains=(
+            DomainSpec(
+                name="dtn", users=("boliu",), gridftp=True,
+                go_endpoint="boliu#dtn",
+            ),
+        ),
+    )
+    gp, gpi = deploy(bed, topo)
+    dep = gpi.deployment
+    assert dep.endpoint_name == "boliu#dtn"
+    assert "boliu#dtn" in bed.go.endpoints
+    with pytest.raises(DeploymentError, match="no Galaxy"):
+        _ = dep.galaxy
+
+
+def test_nfs_only_minimal_domain():
+    bed = CloudTestbed(seed=93)
+    topo = Topology(domains=(DomainSpec(name="store", users=("boliu",)),))
+    gp, gpi = deploy(bed, topo)
+    assert set(gpi.deployment.nodes) == {"store-server"}
+    assert "boliu" in gpi.deployment.domains["store"].nis

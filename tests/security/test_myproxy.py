@@ -1,0 +1,70 @@
+"""MyProxy credential repository."""
+
+import pytest
+
+from repro.security import (
+    CertificateAuthority,
+    MyProxyError,
+    MyProxyServer,
+)
+
+
+def setup_server():
+    ca = CertificateAuthority("GP-CA")
+    server = MyProxyServer(ca=ca)
+    cert = ca.issue_user_cert("boliu", now=0.0)
+    server.store("boliu", cert, passphrase="s3cretpass", now=0.0)
+    return ca, server
+
+
+def test_store_and_retrieve_proxy():
+    ca, server = setup_server()
+    proxy = server.retrieve("boliu", "s3cretpass", now=10.0)
+    assert proxy.is_proxy
+    ca.verify(proxy, now=100.0)
+    assert server.delegations == [(10.0, "boliu", proxy.serial)]
+
+
+def test_bad_passphrase_rejected():
+    _, server = setup_server()
+    with pytest.raises(MyProxyError, match="passphrase"):
+        server.retrieve("boliu", "wrong-pass", now=10.0)
+
+
+def test_short_passphrase_rejected_at_store():
+    ca = CertificateAuthority("GP-CA")
+    server = MyProxyServer(ca=ca)
+    cert = ca.issue_user_cert("u", now=0.0)
+    with pytest.raises(MyProxyError, match="too short"):
+        server.store("u", cert, passphrase="abc", now=0.0)
+
+
+def test_unknown_user():
+    _, server = setup_server()
+    with pytest.raises(MyProxyError, match="no credential"):
+        server.retrieve("ghost", "whatever123", now=0.0)
+
+
+def test_delegation_lifetime_capped():
+    ca = CertificateAuthority("GP-CA")
+    server = MyProxyServer(ca=ca)
+    cert = ca.issue_user_cert("u", now=0.0)
+    server.store("u", cert, "passphrase", now=0.0, max_delegation_lifetime_s=100.0)
+    proxy = server.retrieve("u", "passphrase", now=0.0, lifetime_s=10_000.0)
+    assert proxy.lifetime_s <= 100.0
+
+
+def test_revoked_credential_unusable():
+    ca, server = setup_server()
+    ca.revoke(server.credentials["boliu"].certificate)
+    with pytest.raises(MyProxyError, match="unusable"):
+        server.retrieve("boliu", "s3cretpass", now=10.0)
+
+
+def test_destroy():
+    _, server = setup_server()
+    assert "boliu" in server
+    server.destroy("boliu")
+    assert "boliu" not in server
+    with pytest.raises(MyProxyError):
+        server.destroy("boliu")

@@ -1,0 +1,100 @@
+"""X.509 CA: issuance, verification, expiry, revocation, proxies."""
+
+import dataclasses
+
+import pytest
+
+from repro.security import CertificateAuthority, CertificateError
+
+
+def test_issue_and_verify_user_cert():
+    ca = CertificateAuthority("GP-CA")
+    cert = ca.issue_user_cert("boliu", now=0.0)
+    assert cert.subject == "/CN=boliu"
+    ca.verify(cert, now=100.0)
+    assert ca.is_valid(cert, now=100.0)
+
+
+def test_host_cert_subject():
+    ca = CertificateAuthority("GP-CA")
+    cert = ca.issue_host_cert("gridftp.example.com", now=0.0)
+    assert cert.subject == "/CN=host/gridftp.example.com"
+
+
+def test_expired_cert_fails():
+    ca = CertificateAuthority("GP-CA", default_lifetime_s=100.0)
+    cert = ca.issue_user_cert("u", now=0.0)
+    with pytest.raises(CertificateError, match="expired"):
+        ca.verify(cert, now=101.0)
+    assert not ca.is_valid(cert, now=101.0)
+
+
+def test_cert_not_valid_before_issue():
+    ca = CertificateAuthority("GP-CA")
+    cert = ca.issue_user_cert("u", now=50.0)
+    with pytest.raises(CertificateError, match="expired"):
+        ca.verify(cert, now=10.0)
+
+
+def test_wrong_issuer_rejected():
+    ca1 = CertificateAuthority("CA-1")
+    ca2 = CertificateAuthority("CA-2")
+    cert = ca1.issue_user_cert("u", now=0.0)
+    with pytest.raises(CertificateError, match="issued by"):
+        ca2.verify(cert, now=0.0)
+
+
+def test_forged_certificate_rejected():
+    ca = CertificateAuthority("GP-CA")
+    cert = ca.issue_user_cert("u", now=0.0)
+    forged = dataclasses.replace(cert, subject="/CN=admin")
+    with pytest.raises(CertificateError, match="forged|signature"):
+        ca.verify(forged, now=0.0)
+
+
+def test_revocation():
+    ca = CertificateAuthority("GP-CA")
+    cert = ca.issue_user_cert("u", now=0.0)
+    ca.revoke(cert)
+    with pytest.raises(CertificateError, match="revoked"):
+        ca.verify(cert, now=0.0)
+
+
+def test_revoke_foreign_cert_rejected():
+    ca1 = CertificateAuthority("CA-1")
+    ca2 = CertificateAuthority("CA-2")
+    cert = ca1.issue_user_cert("u", now=0.0)
+    with pytest.raises(CertificateError):
+        ca2.revoke(cert)
+
+
+def test_proxy_delegation_short_lifetime():
+    ca = CertificateAuthority("GP-CA")
+    cert = ca.issue_user_cert("u", now=0.0)
+    proxy = ca.delegate_proxy(cert, now=0.0, lifetime_s=3600.0)
+    assert proxy.is_proxy
+    assert proxy.subject == "/CN=u/proxy"
+    assert proxy.lifetime_s == pytest.approx(3600.0)
+    ca.verify(proxy, now=1800.0)
+    with pytest.raises(CertificateError):
+        ca.verify(proxy, now=4000.0)
+
+
+def test_proxy_lifetime_capped_by_parent():
+    ca = CertificateAuthority("GP-CA", default_lifetime_s=1000.0)
+    cert = ca.issue_user_cert("u", now=0.0)
+    proxy = ca.delegate_proxy(cert, now=500.0, lifetime_s=10_000.0)
+    assert proxy.not_after <= cert.not_after
+
+
+def test_cannot_delegate_from_expired_cert():
+    ca = CertificateAuthority("GP-CA", default_lifetime_s=10.0)
+    cert = ca.issue_user_cert("u", now=0.0)
+    with pytest.raises(CertificateError):
+        ca.delegate_proxy(cert, now=20.0)
+
+
+def test_serials_unique():
+    ca = CertificateAuthority("GP-CA")
+    certs = [ca.issue_user_cert(f"u{i}", now=0.0) for i in range(10)]
+    assert len({c.serial for c in certs}) == 10

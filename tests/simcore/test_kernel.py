@@ -1,0 +1,378 @@
+"""Kernel semantics: clock, event ordering, processes, run modes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcore import (
+    EmptySchedule,
+    Interrupt,
+    SimContext,
+    SimEvent,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(initial_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator(initial_time=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_step_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_call_in_and_call_at():
+    sim = Simulator()
+    seen = []
+    sim.call_in(3.0, lambda: seen.append(("in", sim.now)))
+    sim.call_at(7.0, lambda: seen.append(("at", sim.now)))
+    sim.run()
+    assert seen == [("in", 3.0), ("at", 7.0)]
+
+
+def test_call_at_past_raises():
+    sim = Simulator(initial_time=10.0)
+    with pytest.raises(ValueError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    sim = Simulator()
+    order = []
+    for tag, delay in [("a", 2.0), ("b", 1.0), ("c", 1.0), ("d", 0.5)]:
+        sim.call_in(delay, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["d", "b", "c", "a"]
+
+
+def test_simple_process_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+        return "finished"
+
+    p = sim.process(proc())
+    result = sim.run(until=p)
+    assert result == "finished"
+    assert sim.now == 5.0
+
+
+def test_process_receives_timeout_value():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run(until=sim.process(proc())) == "payload"
+
+
+def test_process_waits_on_event_succeeded_by_other_process():
+    sim = Simulator()
+    gate = sim.event()
+    trace = []
+
+    def waiter():
+        value = yield gate
+        trace.append(("woke", sim.now, value))
+
+    def opener():
+        yield sim.timeout(4.0)
+        gate.succeed("open!")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert trace == [("woke", 4.0, "open!")]
+
+
+def test_event_failure_propagates_into_process():
+    sim = Simulator()
+    gate = sim.event()
+
+    def failer():
+        yield sim.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    def waiter():
+        with pytest.raises(RuntimeError, match="boom"):
+            yield gate
+        return "handled"
+
+    sim.process(failer())
+    p = sim.process(waiter())
+    assert sim.run(until=p) == "handled"
+
+
+def test_unhandled_event_failure_raises_at_kernel():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("nobody caught me"))
+    with pytest.raises(ValueError, match="nobody caught me"):
+        sim.run()
+
+
+def test_run_until_failed_process_reraises():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise KeyError("inside process")
+
+    p = sim.process(bad())
+    with pytest.raises(KeyError):
+        sim.run(until=p)
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    p = sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run(until=p)
+
+
+def test_interrupt_wakes_process_early():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept full")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(target):
+        yield sim.timeout(3.0)
+        target.interrupt("wake up")
+
+    p = sim.process(sleeper())
+    sim.process(interrupter(p))
+    sim.run()
+    assert log == [("interrupted", 3.0, "wake up")]
+
+
+def test_interrupt_dead_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_unhandled_interrupt_kills_process():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100.0)
+
+    def interrupter(target):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    p = sim.process(sleeper())
+    sim.process(interrupter(p))
+    with pytest.raises(SimulationError, match="Interrupt"):
+        sim.run(until=p)
+
+
+def test_process_exception_fails_process_event():
+    """A raising process fails its event; waiters receive the exception."""
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("process exploded")
+
+    def waiter():
+        try:
+            yield sim.process(bad())
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    assert sim.run(until=sim.process(waiter())) == "caught: process exploded"
+
+
+def test_unwaited_process_exception_surfaces_at_kernel():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("nobody is watching")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="nobody is watching"):
+        sim.run()
+
+
+def test_condition_defuses_simultaneous_failures():
+    """Two processes failing at the same instant: AllOf handles both."""
+    sim = Simulator()
+
+    def bad(tag):
+        yield sim.timeout(5.0)
+        raise RuntimeError(tag)
+
+    def waiter():
+        try:
+            yield sim.all_of([sim.process(bad("a")), sim.process(bad("b"))])
+        except RuntimeError as exc:
+            return str(exc)
+
+    result = sim.run(until=sim.process(waiter()))
+    assert result in ("a", "b")
+    sim.run()  # the second failure must not crash the drained kernel
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(2.0, "a")
+        t2 = sim.timeout(5.0, "b")
+        results = yield sim.all_of([t1, t2])
+        return sorted(results.values())
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == ["a", "b"]
+    assert sim.now == 5.0
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(2.0, "fast")
+        t2 = sim.timeout(9.0, "slow")
+        results = yield sim.any_of([t1, t2])
+        return list(results.values())
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == ["fast"]
+    assert sim.now == 2.0
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+
+    def proc():
+        res = yield sim.all_of([])
+        return res
+
+    assert sim.run(until=sim.process(proc())) == {}
+
+
+def test_nested_processes_compose():
+    sim = Simulator()
+
+    def child(d):
+        yield sim.timeout(d)
+        return d * 2
+
+    def parent():
+        a = yield sim.process(child(3.0))
+        b = yield sim.process(child(4.0))
+        return a + b
+
+    assert sim.run(until=sim.process(parent())) == 14.0
+    assert sim.now == 7.0
+
+
+def test_context_log_records_time_and_detail():
+    ctx = SimContext(seed=1)
+    ctx.sim.call_in(2.5, lambda: ctx.log("unit", "tick", n=1))
+    ctx.sim.run()
+    recs = ctx.trace.filter(kind="tick")
+    assert len(recs) == 1
+    assert recs[0].time == 2.5
+    assert recs[0].detail == {"n": 1}
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_property_events_processed_in_nondecreasing_time(delays):
+    """Regardless of insertion order, observed firing times are sorted."""
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.call_in(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=100), st.integers(0, 4)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_equal_time_events_fifo(pairs):
+    """Events at identical times run in insertion order."""
+    sim = Simulator()
+    seen = []
+    for idx, (t, _) in enumerate(pairs):
+        sim.call_in(float(t), lambda i=idx, tt=t: seen.append((tt, i)))
+    sim.run()
+    # Within each timestamp, insertion indices must be increasing.
+    by_time: dict[int, list[int]] = {}
+    for t, i in seen:
+        by_time.setdefault(t, []).append(i)
+    for indices in by_time.values():
+        assert indices == sorted(indices)

@@ -1,0 +1,62 @@
+"""Smoke: the example scripts run cleanly as subprocesses."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "Created new instance: gpi-" in out
+    assert "History panel:" in out
+    assert "Top table" in out
+    assert "deployment timeline" in out
+
+
+def test_cardio_workflow_example():
+    out = run_example("cardio_workflow.py")
+    assert "steps 3+4 total: 10.8 min (paper: 10.7 min)" in out
+    assert "steps 3+4 total: 7.2 min (paper: 6.9 min)" in out
+    assert "affyCelFileSamples.zip [ok]" in out
+
+
+def test_transfer_comparison_example():
+    out = run_example("transfer_comparison.py")
+    assert "Figure 11" in out
+    assert "refused" in out
+    assert "retried automatically" in out
+
+
+def test_workflow_sharing_example():
+    out = run_example("workflow_sharing.py")
+    assert "Workflow finished: ok" in out
+    assert "bit-identical to the original: True" in out
+
+
+@pytest.mark.slow
+def test_elastic_scaling_example():
+    out = run_example("elastic_scaling.py", timeout=400)
+    assert "scale-up" in out
+    assert "Final worker count: 1" in out
+
+
+def test_reproduce_paper_example():
+    out = run_example("reproduce_paper.py", timeout=400)
+    assert "Figure 10 paper-vs-measured" in out
+    assert "Figure 11 paper-vs-measured" in out
+    assert "ablation" in out.lower()

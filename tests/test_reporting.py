@@ -1,0 +1,38 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.reporting import Comparison, render_series, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "long header"], [["x", 1], ["yy", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("+")
+    assert "| a  | long header |" in out
+    # all rows same width
+    assert len({len(ln) for ln in lines}) == 1
+
+
+def test_render_table_title():
+    out = render_table(["h"], [["v"]], title="My title")
+    assert out.splitlines()[0] == "My title"
+
+
+def test_render_series():
+    out = render_series("x", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+    assert "| 1 | 10 | 30 |" in out
+    assert "| 2 | 20 | 40 |" in out
+
+
+def test_comparison_render_and_ratios():
+    cmp = Comparison("T")
+    cmp.add("metric1", 10.0, 11.0)
+    cmp.add("metric2", None, 5.0)
+    cmp.add("metric3", "fast", "fast")
+    out = cmp.render()
+    assert "metric1" in out and "11" in out
+    ratios = cmp.ratios()
+    assert ratios["metric1"] == pytest.approx(1.1)
+    assert ratios["metric2"] is None
+    assert ratios["metric3"] is None

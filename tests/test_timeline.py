@@ -1,0 +1,38 @@
+"""Deployment timeline rendering from the simulation trace."""
+
+from repro.core import CloudTestbed, usecase_topology
+from repro.provision import GlobusProvision
+from repro.reporting import collect_intervals, render_timeline
+from repro.simcore import TraceLog
+
+
+def test_empty_trace():
+    assert "no deployment activity" in render_timeline(TraceLog())
+
+
+def test_deployment_produces_timeline():
+    bed = CloudTestbed(seed=60)
+    gp = GlobusProvision(bed)
+    gpi = gp.create(usecase_topology("m1.small", cluster_nodes=1))
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    intervals = collect_intervals(bed.ctx.trace)
+    boots = [iv for iv in intervals if iv.label.startswith("boot")]
+    converges = [iv for iv in intervals if iv.label.startswith("chef")]
+    assert len(boots) == 4     # server, head, gridftp, worker
+    assert len(converges) == 4
+    for iv in intervals:
+        assert iv.end > iv.start
+    # converge of a node starts after its boot ends
+    head = next(iv for iv in converges if "galaxy-condor" in iv.label)
+    assert head.start >= min(b.end for b in boots) - 1e-9
+
+    art = render_timeline(bed.ctx.trace)
+    assert "chef simple-galaxy-condor" in art
+    assert "#" in art
+    # every bar line has the shared axis width
+    lines = art.splitlines()[1:]
+    assert len({ln.index("|") for ln in lines}) == 1

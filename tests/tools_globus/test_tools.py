@@ -1,0 +1,161 @@
+"""The three Globus Transfer Galaxy tools, run inside a deployed instance."""
+
+import pytest
+
+from repro.calibration import MB
+from repro.core import (
+    AFFY_CEL_PATH,
+    CVRG_DATA_ENDPOINT,
+    FOUR_CEL_PATH,
+    CloudTestbed,
+    usecase_topology,
+)
+from repro.galaxy import JobState
+from repro.provision import GlobusProvision
+from repro.tools_globus import (
+    GET_DATA_TOOL_ID,
+    GO_TRANSFER_TOOL_ID,
+    SEND_DATA_TOOL_ID,
+)
+
+
+@pytest.fixture
+def world():
+    bed = CloudTestbed(seed=6)
+    gp = GlobusProvision(bed)
+    gpi = gp.create(usecase_topology("c1.medium", cluster_nodes=1))
+
+    def scenario():
+        yield from gp.start(gpi.id)
+
+    bed.ctx.sim.run(until=bed.ctx.sim.process(scenario()))
+    app = gpi.deployment.galaxy
+    history = app.create_history("boliu", "transfers")
+    return bed, app, history
+
+
+def run_job(bed, app, job):
+    bed.ctx.sim.run(until=app.jobs.when_done(job))
+    return job
+
+
+def test_get_data_manifests_dataset_in_history(world):
+    bed, app, history = world
+    job = app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    )
+    run_job(bed, app, job)
+    assert job.state == JobState.OK
+    ds = job.outputs["output"]
+    assert ds.name == "fourCelFileSamples.zip"
+    assert ds.size == pytest.approx(10.7 * MB, rel=0.01)
+    # real payload arrived: it parses as a CEL archive
+    from repro.crdata import CelArchive
+
+    arch = CelArchive.from_bytes(app.fs.read(ds.file_path))
+    assert arch.n_arrays == 4
+    # the user got an email from Globus Online
+    assert any("SUCCEEDED" in m.subject for m in bed.go.emails)
+
+
+def test_get_data_missing_file_errors_in_history(world):
+    bed, app, history = world
+    job = app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": "/home/boliu/missing.zip"},
+    )
+    run_job(bed, app, job)
+    assert job.state == JobState.ERROR
+    assert "missing.zip" in job.stderr
+    panel = app.history_panel(history)
+    assert any("[error]" in line for line in panel)
+
+
+def test_get_data_deadline_exceeded_fails_job(world):
+    bed, app, history = world
+    job = app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={
+            "endpoint": CVRG_DATA_ENDPOINT,
+            "path": AFFY_CEL_PATH,          # 190.3 MB
+            "deadline_minutes": 0.1,        # 6 seconds: hopeless
+        },
+    )
+    run_job(bed, app, job)
+    assert job.state == JobState.ERROR
+    assert "deadline" in job.stderr
+
+
+def test_user_without_go_account_gets_clear_error(world):
+    bed, app, history = world
+    app.create_user("stranger")
+    hist2 = app.create_history("stranger")
+    job = app.run_tool(
+        "stranger", hist2, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    )
+    run_job(bed, app, job)
+    assert job.state == JobState.ERROR
+    assert "no linked Globus Online account" in job.stderr
+
+
+def test_send_data_pushes_dataset_to_laptop(world):
+    bed, app, history = world
+    ds = app.upload_data(history, "results.txt", data=b"top table contents", ext="txt")
+    job = app.run_tool(
+        "boliu", history, SEND_DATA_TOOL_ID,
+        params={"endpoint": "boliu#laptop", "path": "/home/boliu/results.txt"},
+        inputs=[ds],
+    )
+    run_job(bed, app, job)
+    assert job.state == JobState.OK
+    assert bed.laptop_fs.read("/home/boliu/results.txt") == b"top table contents"
+    report = app.fs.read(job.outputs["output"].file_path).decode()
+    assert "SUCCEEDED" in report
+
+
+def test_go_transfer_third_party_between_remote_endpoints(world):
+    bed, app, history = world
+    bed.laptop_fs.write("/home/boliu/field-data.csv", data=b"a,b\n1,2\n")
+    job = app.run_tool(
+        "boliu", history, GO_TRANSFER_TOOL_ID,
+        params={
+            "source_endpoint": "boliu#laptop",
+            "source_path": "/home/boliu/field-data.csv",
+            "dest_endpoint": CVRG_DATA_ENDPOINT,
+            "dest_path": "/home/boliu/field-data.csv",
+        },
+    )
+    run_job(bed, app, job)
+    assert job.state == JobState.OK
+    assert bed.cvrg_fs.read("/home/boliu/field-data.csv") == b"a,b\n1,2\n"
+    report = app.fs.read(job.outputs["output"].file_path).decode()
+    assert "task_id" in report
+
+
+def test_go_transfer_into_galaxy_manifests_payload(world):
+    bed, app, history = world
+    job2 = app.run_tool(
+        "boliu", history, GO_TRANSFER_TOOL_ID,
+        params={
+            "source_endpoint": CVRG_DATA_ENDPOINT,
+            "source_path": FOUR_CEL_PATH,
+            "dest_endpoint": "cvrg#galaxy",
+            "dest_path": "/home/galaxy/database/files/incoming.zip",
+        },
+    )
+    run_job(bed, app, job2)
+    assert job2.state == JobState.OK
+    # payload landed on the shared filesystem of the deployment
+    assert app.fs.stat("/home/galaxy/database/files/incoming.zip").size > 0
+
+
+def test_transfer_tools_run_on_galaxy_server_not_condor(world):
+    bed, app, history = world
+    job = app.run_tool(
+        "boliu", history, GET_DATA_TOOL_ID,
+        params={"endpoint": CVRG_DATA_ENDPOINT, "path": FOUR_CEL_PATH},
+    )
+    run_job(bed, app, job)
+    assert job.machine == "galaxy-server"

@@ -1,0 +1,46 @@
+"""Shared fixtures: a two-site testbed with registered users and endpoints."""
+
+import pytest
+
+from repro.calibration import MB
+from repro.cluster import SimFilesystem
+from repro.security import CertificateAuthority
+from repro.simcore import SimContext
+from repro.transfer import GlobusOnline, GridFTPServer, SiteGraph
+
+
+class Testbed:
+    __test__ = False  # not a test class despite being used by tests
+
+    def __init__(self, fault_rate=0.0, seed=7):
+        self.ctx = SimContext(seed=seed)
+        self.ca = CertificateAuthority("GP-CA")
+        self.sites = SiteGraph.paper_testbed()
+        self.go = GlobusOnline(
+            self.ctx, sites=self.sites, ca=self.ca, fault_rate=fault_rate
+        )
+        # laptop endpoint (Globus Connect) owned by boliu
+        self.laptop_fs = SimFilesystem("laptop")
+        self.laptop_server = GridFTPServer(
+            ctx=self.ctx, hostname="laptop.local", site="laptop", fs=self.laptop_fs
+        )
+        # galaxy endpoint on EC2 owned by cvrg
+        self.galaxy_fs = SimFilesystem("galaxy")
+        self.galaxy_server = GridFTPServer(
+            ctx=self.ctx, hostname="galaxy.ec2", site="ec2", fs=self.galaxy_fs
+        )
+        self.go.register_user("boliu", "boliu@uchicago.edu")
+        self.go.register_user("cvrg")
+        self.boliu_cert = self.ca.issue_user_cert("boliu", now=self.ctx.now)
+        self.go.add_user_credential("boliu", self.boliu_cert)
+        self.go.create_endpoint("boliu#laptop", [self.laptop_server])
+        self.go.create_endpoint("cvrg#galaxy", [self.galaxy_server], public=True)
+
+    def put_file(self, path="/home/boliu/data.zip", size=10 * MB):
+        self.laptop_fs.write(path, size=size)
+        return path
+
+
+@pytest.fixture
+def bed():
+    return Testbed()

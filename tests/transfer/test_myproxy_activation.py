@@ -1,0 +1,59 @@
+"""Endpoint activation through MyProxy (the 2012 credential flow)."""
+
+import pytest
+
+from repro.security import CertificateAuthority, MyProxyServer
+from repro.transfer import GlobusError
+
+from .conftest import Testbed
+
+
+@pytest.fixture
+def myproxy_world():
+    bed = Testbed()
+    myproxy = MyProxyServer(ca=bed.ca)
+    cert = bed.ca.issue_user_cert("boliu-mp", now=bed.ctx.now)
+    # no profile credential for this user: only MyProxy has one
+    bed.go.register_user("boliu-mp")
+    myproxy.store("boliu-mp", cert, "secret-pass", now=bed.ctx.now)
+    return bed, myproxy
+
+
+def test_myproxy_activation_succeeds(myproxy_world):
+    bed, myproxy = myproxy_world
+    expiry = bed.go.activate_endpoint_myproxy(
+        "cvrg#galaxy", "boliu-mp", myproxy, "boliu-mp", "secret-pass"
+    )
+    assert expiry > bed.ctx.now
+    assert bed.go.endpoint("cvrg#galaxy").is_activated("boliu-mp", bed.ctx.now)
+
+
+def test_myproxy_activation_bad_passphrase(myproxy_world):
+    bed, myproxy = myproxy_world
+    with pytest.raises(GlobusError, match="MyProxy"):
+        bed.go.activate_endpoint_myproxy(
+            "cvrg#galaxy", "boliu-mp", myproxy, "boliu-mp", "wrong-pass"
+        )
+    assert not bed.go.endpoint("cvrg#galaxy").is_activated("boliu-mp", bed.ctx.now)
+
+
+def test_myproxy_proxy_lifetime_caps_activation(myproxy_world):
+    bed, myproxy = myproxy_world
+    stored = myproxy.credentials["boliu-mp"]
+    # tighten the delegation ceiling
+    stored.max_delegation_lifetime_s = 600.0
+    expiry = bed.go.activate_endpoint_myproxy(
+        "cvrg#galaxy", "boliu-mp", myproxy, "boliu-mp", "secret-pass"
+    )
+    assert expiry <= bed.ctx.now + 600.0 + 1e-9
+
+
+def test_activation_expires(myproxy_world):
+    bed, myproxy = myproxy_world
+    bed.go.activate_endpoint_myproxy(
+        "cvrg#galaxy", "boliu-mp", myproxy, "boliu-mp", "secret-pass",
+        lifetime_s=100.0,
+    )
+    ep = bed.go.endpoint("cvrg#galaxy")
+    assert ep.is_activated("boliu-mp", bed.ctx.now + 50.0)
+    assert not ep.is_activated("boliu-mp", bed.ctx.now + 101.0)

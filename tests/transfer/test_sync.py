@@ -1,0 +1,75 @@
+"""Transfer sync/mirror mode: 'moving or synchronizing large quantities'."""
+
+import pytest
+
+from repro.calibration import MB
+from repro.transfer import TaskStatus, TransferItem, TransferSpec
+
+from .conftest import Testbed
+
+
+def sync_spec(sync_level, items):
+    return TransferSpec(
+        source_endpoint="boliu#laptop",
+        dest_endpoint="cvrg#galaxy",
+        items=items,
+        sync_level=sync_level,
+        notify=False,
+    )
+
+
+def test_invalid_sync_level_rejected():
+    with pytest.raises(ValueError, match="sync_level"):
+        TransferSpec("a#b", "c#d", items=[], sync_level="maybe")
+
+
+def test_sync_exists_skips_present_files(bed):
+    for i in range(3):
+        bed.put_file(f"/home/boliu/mirror/f{i}.dat", size=10 * MB)
+    # pre-place one file at the destination
+    bed.galaxy_fs.write("/mirror/f1.dat", size=10 * MB)
+    items = [
+        TransferItem(f"/home/boliu/mirror/f{i}.dat", f"/mirror/f{i}.dat")
+        for i in range(3)
+    ]
+    task = bed.go.submit("boliu", sync_spec("exists", items))
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    assert task.status == TaskStatus.SUCCEEDED
+    assert task.files_transferred == 2
+    assert task.files_skipped == 1
+    assert any(e.code == "SKIPPED" for e in task.events)
+
+
+def test_sync_checksum_retransfers_changed_content(bed):
+    bed.laptop_fs.write("/home/boliu/a.txt", data=b"new content")
+    bed.galaxy_fs.write("/a.txt", data=b"old content")
+    task = bed.go.submit(
+        "boliu", sync_spec("checksum", [TransferItem("/home/boliu/a.txt", "/a.txt")])
+    )
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    assert task.files_transferred == 1
+    assert task.files_skipped == 0
+    assert bed.galaxy_fs.read("/a.txt") == b"new content"
+
+
+def test_sync_checksum_skips_identical_content(bed):
+    bed.laptop_fs.write("/home/boliu/a.txt", data=b"same bytes")
+    bed.galaxy_fs.write("/a.txt", data=b"same bytes")
+    task = bed.go.submit(
+        "boliu", sync_spec("checksum", [TransferItem("/home/boliu/a.txt", "/a.txt")])
+    )
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    assert task.files_skipped == 1
+    assert task.files_transferred == 0
+
+
+def test_second_sync_run_is_all_skips_and_fast(bed):
+    for i in range(4):
+        bed.put_file(f"/home/boliu/m/f{i}.dat", size=50 * MB)
+    items = [TransferItem(f"/home/boliu/m/f{i}.dat", f"/m/f{i}.dat") for i in range(4)]
+    t1 = bed.go.submit("boliu", sync_spec("checksum", items))
+    bed.ctx.sim.run(until=bed.go.when_done(t1))
+    t2 = bed.go.submit("boliu", sync_spec("checksum", items))
+    bed.ctx.sim.run(until=bed.go.when_done(t2))
+    assert t2.files_skipped == 4
+    assert t2.duration_s < t1.duration_s / 5
