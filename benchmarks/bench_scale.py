@@ -1,0 +1,61 @@
+"""Scale benchmark: the first entry in the repo's perf trajectory.
+
+Deploys a 128-node GP topology, pushes 500 concurrent Globus transfers
+and 2000 Condor jobs through it, and records kernel throughput
+(events/second of wall time), wall time, and peak scheduler queue depth
+to ``BENCH_scale.json`` at the repo root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py
+
+or via pytest (the full run is marked ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -m slow
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import scale
+
+#: the perf-trajectory artefact lives at the repo root, next to ROADMAP.md
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+
+
+def run_and_save(config: scale.ScaleConfig = scale.FULL_CONFIG) -> scale.ScaleResult:
+    result = scale.run(config)
+    result.check_shape()
+    RESULT_PATH.write_text(result.to_json() + "\n")
+    return result
+
+
+@pytest.mark.slow
+def test_scale_full(benchmark):
+    """The headline run; simulation metrics are seed-deterministic."""
+    result = benchmark.pedantic(run_and_save, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        events_per_sec=round(result.events_per_sec),
+        events_processed=result.events_processed,
+        peak_queue_depth=result.peak_queue_depth,
+    )
+    assert result.nodes == 128
+
+
+def main() -> None:
+    result = run_and_save()
+    print(result.to_json())
+    print(f"\nwrote {RESULT_PATH}")
+    print(
+        f"{result.nodes} nodes | {result.config.transfers} transfers | "
+        f"{result.config.jobs} jobs | "
+        f"{result.events_processed} events in {result.wall_seconds:.2f}s wall "
+        f"({result.events_per_sec:,.0f} ev/s) | "
+        f"peak queue depth {result.peak_queue_depth}"
+    )
+
+
+if __name__ == "__main__":
+    main()

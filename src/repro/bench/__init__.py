@@ -5,6 +5,6 @@ instance type), Fig. 11 (transfer rate by method and file size), the
 Sec. V-A use case, and the design-choice ablations DESIGN.md calls out.
 """
 
-from . import ablations, figure10, figure11, usecase
+from . import ablations, figure10, figure11, scale, usecase
 
-__all__ = ["ablations", "figure10", "figure11", "usecase"]
+__all__ = ["ablations", "figure10", "figure11", "scale", "usecase"]

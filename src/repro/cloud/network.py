@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from .. import calibration
@@ -58,6 +59,13 @@ class NetworkPath:
         return cls(rtt_s=0.0005, loss=1e-6, bottleneck_bps=1e9)
 
 
+# The rate/ramp functions are pure in their (hashable) arguments and sit on
+# the per-transfer hot path: a scale run prices thousands of file movements
+# over a handful of distinct (path, streams, window) shapes, so memoizing
+# turns repeated sqrt/log work into dict lookups.
+
+
+@lru_cache(maxsize=4096)
 def mathis_limit_bps(
     path: NetworkPath,
     mss_bytes: int = calibration.TCP_MSS_BYTES,
@@ -73,6 +81,7 @@ def stream_rate_bps(path: NetworkPath, window_bytes: int) -> float:
     return min(window_limit, mathis_limit_bps(path), path.bottleneck_bps)
 
 
+@lru_cache(maxsize=4096)
 def aggregate_rate_bps(path: NetworkPath, streams: int, window_bytes: int) -> float:
     """Steady throughput of ``streams`` parallel TCP streams."""
     if streams < 1:
@@ -83,6 +92,7 @@ def aggregate_rate_bps(path: NetworkPath, streams: int, window_bytes: int) -> fl
     return min(streams * unconstrained, path.bottleneck_bps)
 
 
+@lru_cache(maxsize=4096)
 def slow_start_ramp_s(
     path: NetworkPath,
     window_bytes: int,

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from .. import calibration
-from ..simcore import Interrupt, SimContext, SimEvent
+from ..simcore import LAZY, Interrupt, SimContext, SimEvent
 from .node import ClusterNode
 
 Requirements = Callable[["MachineAd"], bool]
@@ -104,6 +104,8 @@ class Startd:
         self.draining = False
         self._run_procs: dict[int, Any] = {}
         self._drained_event: Optional[SimEvent] = None
+        #: owning pool; keeps the pool's free-slot index current
+        self.pool: Optional["CondorPool"] = None
 
     @property
     def free_slots(self) -> int:
@@ -117,6 +119,7 @@ class Startd:
         slot = next(i for i in range(self.machine.cores) if i not in self.busy)
         self.busy[slot] = job
         job.state = JobState.RUNNING
+        pool.schedd._job_left_queue(job)
         job.start_time = self.ctx.now
         job.machine_name = self.machine.name
         self.ctx.log(
@@ -125,6 +128,7 @@ class Startd:
         self._run_procs[slot] = self.ctx.sim.process(
             self._run(slot, job, pool), name=f"startd-{self.machine.name}-{slot}"
         )
+        pool._update_free(self)
 
     def _run(self, slot: int, job: CondorJob, pool: "CondorPool"):
         duration = (
@@ -136,12 +140,14 @@ class Startd:
         except Interrupt:
             del self.busy[slot]
             self._run_procs.pop(slot, None)
+            pool._update_free(self)
             if job.state == JobState.REMOVED:
                 # condor_rm while running: free the slot, nothing to rematch
                 self.ctx.log("condor", "removed", job=job.id, machine=self.machine.name)
             else:
                 # Evicted: job goes back to idle for rematching.
                 job.state = JobState.IDLE
+                pool.schedd._job_requeued(job)
                 job.machine_name = None
                 job.start_time = None
                 job.evictions += 1
@@ -151,6 +157,7 @@ class Startd:
             return
         del self.busy[slot]
         self._run_procs.pop(slot, None)
+        pool._update_free(self)
         job.state = JobState.COMPLETED
         job.end_time = self.ctx.now
         if job.on_complete is not None:
@@ -168,6 +175,8 @@ class Startd:
     def drain(self) -> SimEvent:
         """Stop matching new jobs; event fires when the last job finishes."""
         self.draining = True
+        if self.pool is not None:
+            self.pool._update_free(self)
         if self._drained_event is None:
             self._drained_event = self.ctx.sim.event()
         self._check_drained()
@@ -185,19 +194,42 @@ class Schedd:
     def __init__(self) -> None:
         self.jobs: dict[int, CondorJob] = {}
         self._next_id = 1
+        # Idle jobs indexed separately so a negotiation cycle never scans
+        # (or sorts) the full queue history.  Submission order is already
+        # (submit_time, id) order — ids are monotonic and sim time never
+        # goes backwards — so the dict stays sorted until an eviction
+        # re-queues an old job out of order, which marks it dirty.
+        self._idle: dict[int, CondorJob] = {}
+        self._idle_dirty = False
 
     def submit(self, job_kwargs: dict, ctx: SimContext) -> CondorJob:
         job = CondorJob(id=self._next_id, submit_time=ctx.now, **job_kwargs)
         job.completed = ctx.sim.event()
         self._next_id += 1
         self.jobs[job.id] = job
+        self._idle[job.id] = job
         return job
 
+    def _job_requeued(self, job: CondorJob) -> None:
+        """An eviction put ``job`` back to IDLE (possibly out of order)."""
+        self._idle[job.id] = job
+        self._idle_dirty = True
+
+    def _job_left_queue(self, job: CondorJob) -> None:
+        """``job`` stopped being IDLE (claimed or removed)."""
+        self._idle.pop(job.id, None)
+
+    def has_idle(self) -> bool:
+        return bool(self._idle)
+
     def idle_jobs(self) -> list[CondorJob]:
-        return sorted(
-            (j for j in self.jobs.values() if j.state == JobState.IDLE),
-            key=lambda j: (j.submit_time, j.id),
-        )
+        if self._idle_dirty:
+            ordered = sorted(
+                self._idle.values(), key=lambda j: (j.submit_time, j.id)
+            )
+            self._idle = {j.id: j for j in ordered}
+            self._idle_dirty = False
+        return list(self._idle.values())
 
     def remove(self, job_id: int) -> None:
         job = self.jobs.get(job_id)
@@ -206,6 +238,7 @@ class Schedd:
         if job.state == JobState.RUNNING:
             raise CondorError("evict via the pool before removing a running job")
         job.state = JobState.REMOVED
+        self._job_left_queue(job)
 
 
 class CondorPool:
@@ -225,6 +258,9 @@ class CondorPool:
         self.usage_by_owner: dict[str, float] = {}
         self.schedd = Schedd()
         self.startds: dict[str, Startd] = {}
+        #: index of machines with at least one free slot, so negotiation
+        #: never scans fully-loaded startds (name -> Startd)
+        self._free: dict[str, Startd] = {}
         self._kick: Optional[SimEvent] = None
         self._stopped = False
         self._negotiator = ctx.sim.process(self._negotiate_loop(), name="negotiator")
@@ -246,7 +282,9 @@ class CondorPool:
         if machine.name in self.startds:
             raise CondorError(f"machine {machine.name!r} already in pool")
         startd = Startd(self.ctx, machine)
+        startd.pool = self
         self.startds[machine.name] = startd
+        self._update_free(startd)
         self.ctx.log("condor", "startd-join", machine=machine.name, cores=machine.cores)
         self._wake_negotiator()
         return startd
@@ -266,6 +304,7 @@ class CondorPool:
 
             def _finish(_ev: SimEvent) -> None:
                 self.startds.pop(name, None)
+                self._free.pop(name, None)
                 self.ctx.log("condor", "startd-leave", machine=name)
                 done.succeed(name)
 
@@ -277,6 +316,7 @@ class CondorPool:
             startd.draining = True
             startd.evict_all()
             self.startds.pop(name, None)
+            self._free.pop(name, None)
             self.ctx.log("condor", "startd-leave", machine=name, evicted=True)
             done.succeed(name)
         return done
@@ -320,6 +360,7 @@ class CondorPool:
             raise CondorError(f"job {job.id} is already {job.state.value}")
         was_running = job.state == JobState.RUNNING
         job.state = JobState.REMOVED
+        self.schedd._job_left_queue(job)
         job.end_time = self.ctx.now
         if was_running:
             for startd in self.startds.values():
@@ -352,19 +393,31 @@ class CondorPool:
         self._wake_negotiator()
 
     # -- negotiation --------------------------------------------------------------
+    def _update_free(self, startd: Startd) -> None:
+        """Re-index one machine after its slot occupancy changed."""
+        name = startd.machine.name
+        if startd.free_slots > 0 and name in self.startds:
+            self._free[name] = startd
+        else:
+            self._free.pop(name, None)
+
     def shutdown(self) -> None:
         self._stopped = True
         self._wake_negotiator()
 
     def _wake_negotiator(self) -> None:
+        # LAZY priority defers the wake-up until every ordinary event at
+        # this timestamp has drained, so a burst of same-time completions
+        # and submissions coalesces into a single negotiation cycle (the
+        # `triggered` guard makes the extra kicks free).
         if self._kick is not None and not self._kick.triggered:
-            self._kick.succeed()
+            self._kick.succeed(priority=LAZY)
 
     def _negotiate_loop(self):
         while not self._stopped:
             self._negotiation_cycle()
             self._kick = self.ctx.sim.event()
-            if self.schedd.idle_jobs():
+            if self.schedd.has_idle():
                 # Unmatched work pending: retry next cycle, or earlier on a
                 # submission/join/slot-free kick.
                 yield self.ctx.sim.any_of(
@@ -378,17 +431,22 @@ class CondorPool:
         self._kick = None
 
     def _negotiation_cycle(self) -> None:
+        if not self._free:
+            return  # every slot is claimed; nothing can match
         idle = self.schedd.idle_jobs()
         if self.fair_share:
-            idle.sort(
-                key=lambda j: (
-                    self.usage_by_owner.get(j.owner, 0.0), j.submit_time, j.id,
-                )
-            )
+            # idle is already in (submit_time, id) order, so a *stable*
+            # sort on usage alone yields the same order as sorting on
+            # (usage, submit_time, id) — at half the key-building cost.
+            usage = self.usage_by_owner
+            idle.sort(key=lambda j: usage.get(j.owner, 0.0))
         for job in idle:
+            if not self._free:
+                break  # the cycle itself consumed the last free slot
+            # the free-slot check tolerates entries staled by a drain
             candidates = [
                 s
-                for s in self.startds.values()
+                for s in self._free.values()
                 if s.free_slots > 0 and job.matches(s.machine)
             ]
             if not candidates:

@@ -22,7 +22,7 @@ from .errors import (
     StopSimulation,
     UntriggeredEvent,
 )
-from .events import AllOf, AnyOf, SimEvent, Timeout
+from .events import LAZY, NORMAL, URGENT, AllOf, AnyOf, SimEvent, Timeout
 from .kernel import Simulator
 from .process import Process
 from .resources import Container, PriorityResource, Request, Resource, Store
@@ -34,6 +34,8 @@ __all__ = [
     "Container",
     "EmptySchedule",
     "Interrupt",
+    "LAZY",
+    "NORMAL",
     "PriorityResource",
     "Process",
     "RandomStreams",
@@ -48,5 +50,6 @@ __all__ = [
     "Timeout",
     "TraceLog",
     "TraceRecord",
+    "URGENT",
     "UntriggeredEvent",
 ]

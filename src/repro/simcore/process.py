@@ -22,6 +22,8 @@ ProcessGenerator = Generator[SimEvent, object, object]
 class _Initialize(SimEvent):
     """Immediate event that starts a process on the next kernel step."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", process: "Process") -> None:
         super().__init__(sim)
         self._ok = True
@@ -32,6 +34,8 @@ class _Initialize(SimEvent):
 
 class Process(SimEvent):
     """A running process; also an event that fires when the process ends."""
+
+    __slots__ = ("name", "_generator", "_target")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "throw"):
@@ -70,16 +74,20 @@ class Process(SimEvent):
         interrupt_ev.defused = True
 
     def _resume(self, event: SimEvent) -> None:
-        """Advance the generator with ``event``'s outcome."""
+        """Advance the generator with ``event``'s outcome.
+
+        ``event`` is always processed here, so the raw ``_ok``/``_value``
+        slots are read directly — this loop runs once per context switch.
+        """
         self.sim._active_process = self
         try:
             while True:
                 try:
-                    if event.ok:
-                        next_event = self._generator.send(event.value)
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
                     else:
-                        event.defused = True
-                        next_event = self._generator.throw(event.value)  # type: ignore[arg-type]
+                        event._defused = True
+                        next_event = self._generator.throw(event._value)  # type: ignore[arg-type]
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -109,7 +117,7 @@ class Process(SimEvent):
                 if next_event.sim is not self.sim:
                     raise SimulationError("yielded event belongs to another simulator")
                 self._target = next_event
-                if next_event.processed:
+                if next_event.callbacks is None:  # processed
                     # Already happened: loop and feed it straight back in.
                     event = next_event
                     continue

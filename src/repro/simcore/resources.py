@@ -12,7 +12,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
 from .errors import SimulationError
-from .events import SimEvent
+from .events import _PENDING, SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
@@ -21,8 +21,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class Request(SimEvent):
     """Pending claim on a :class:`Resource`; succeeds when capacity frees."""
 
+    __slots__ = ("resource", "priority")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
-        super().__init__(resource.sim)
+        # Flat initializer (see Timeout): grants happen once per task slot
+        # handoff, which makes this a per-event allocation at scale.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         self.priority = priority
         resource._request(self)
@@ -42,6 +50,8 @@ class Request(SimEvent):
 class Resource:
     """A resource with ``capacity`` identical units and FIFO queueing."""
 
+    __slots__ = ("sim", "capacity", "users", "queue")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -59,43 +69,64 @@ class Resource:
         return Request(self, priority)
 
     # -- internals ---------------------------------------------------------
+    # Invariant (restored after every mutation): the wait queue is only
+    # non-empty when every unit is claimed.  It lets ``_request`` grant
+    # immediately whenever capacity is free — the queue must be empty, so
+    # waiter-selection order (FIFO or priority) cannot matter.
     def _request(self, req: Request) -> None:
-        self.queue.append(req)
-        self._trigger()
+        users = self.users
+        if len(users) < self.capacity:
+            users.append(req)
+            req.succeed(req)
+        else:
+            self.queue.append(req)
 
     def _release(self, req: Request) -> None:
-        if req in self.users:
+        try:
             self.users.remove(req)
-        else:
+        except ValueError:
+            # Cancelling a pending request frees no capacity.
             try:
                 self.queue.remove(req)
             except ValueError:
-                return
+                pass
+            return
         self._trigger()
 
-    def _next_waiter(self) -> Optional[Request]:
-        return self.queue[0] if self.queue else None
-
     def _trigger(self) -> None:
-        while len(self.users) < self.capacity:
-            req = self._next_waiter()
-            if req is None:
-                return
-            self.queue.remove(req)
-            self.users.append(req)
+        users = self.users
+        queue = self.queue
+        while queue and len(users) < self.capacity:
+            req = queue.popleft()
+            users.append(req)
             req.succeed(req)
 
 
 class PriorityResource(Resource):
     """Resource whose waiters are served lowest ``priority`` value first."""
 
-    def _next_waiter(self) -> Optional[Request]:
+    __slots__ = ()
+
+    def _pop_next_waiter(self) -> Optional[Request]:
         if not self.queue:
             return None
-        return min(self.queue, key=lambda r: r.priority)
+        # min() keeps the first minimal element, preserving FIFO ties.
+        req = min(self.queue, key=lambda r: r.priority)
+        self.queue.remove(req)
+        return req
+
+    def _trigger(self) -> None:
+        while len(self.users) < self.capacity:
+            req = self._pop_next_waiter()
+            if req is None:
+                return
+            self.users.append(req)
+            req.succeed(req)
 
 
 class StorePut(SimEvent):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: object) -> None:
         super().__init__(store.sim)
         self.item = item
@@ -104,6 +135,8 @@ class StorePut(SimEvent):
 
 
 class StoreGet(SimEvent):
+    __slots__ = ("filter_fn",)
+
     def __init__(self, store: "Store", filter_fn: Optional[Callable[[object], bool]] = None) -> None:
         super().__init__(store.sim)
         self.filter_fn = filter_fn
@@ -118,6 +151,8 @@ class Store:
     item is returned (used by the Condor negotiator to pick jobs whose
     requirements match an available slot).
     """
+
+    __slots__ = ("sim", "capacity", "items", "_put_queue", "_get_queue")
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -145,6 +180,8 @@ class Store:
                 put.succeed()
                 progressed = True
             # Satisfy gets whose filter matches something.
+            if not self._get_queue or not self.items:
+                continue
             for get in list(self._get_queue):
                 match_idx = None
                 for i, item in enumerate(self.items):
@@ -163,6 +200,8 @@ class Container:
     Only synchronous operations are needed by this project, so ``put`` and
     ``take`` act immediately and raise when they cannot be satisfied.
     """
+
+    __slots__ = ("sim", "capacity", "level")
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf"), init: float = 0.0) -> None:
         if init < 0 or init > capacity:

@@ -22,6 +22,44 @@ from ..simcore import Resource, SimContext
 
 Filesystem = Union[SimFilesystem, MountTable]
 
+#: GridFTP's extended-block-mode data block (what a real server reads per
+#: disk/network round).  A naive simulation would schedule one event per
+#: block — O(8000) events for a 2 GB file.
+GRIDFTP_BLOCK_BYTES = 256 * 1024
+#: Cap on simulation events per file transfer: blocks are coalesced into
+#: at most this many equal slices, so even multi-GB files cost O(tens) of
+#: heap operations while still exposing in-flight progress.
+MAX_CHUNK_EVENTS = 16
+
+
+def coalesced_chunk_plan(
+    size_bytes: int,
+    block_bytes: int = GRIDFTP_BLOCK_BYTES,
+    max_events: int = MAX_CHUNK_EVENTS,
+) -> list[int]:
+    """Split ``size_bytes`` into at most ``max_events`` contiguous slices.
+
+    Each slice is a whole number of blocks (the last takes the remainder),
+    so progress accounting matches what block-mode GridFTP would report,
+    without paying one simulation event per block.
+    """
+    if size_bytes <= 0:
+        return []
+    n_blocks = math.ceil(size_bytes / block_bytes)
+    n_slices = min(max_events, n_blocks)
+    blocks_per_slice = n_blocks // n_slices
+    extra = n_blocks % n_slices
+    plan: list[int] = []
+    remaining = size_bytes
+    for i in range(n_slices):
+        blocks = blocks_per_slice + (1 if i < extra else 0)
+        take = min(remaining, blocks * block_bytes)
+        plan.append(take)
+        remaining -= take
+    if remaining:  # pragma: no cover - arithmetic guard
+        plan[-1] += remaining
+    return plan
+
 
 class GridFTPError(Exception):
     pass
@@ -126,9 +164,17 @@ class GridFTPServer:
         yield src_req
         yield dst_req
         try:
-            yield self.ctx.sim.timeout(self.wire_seconds(network, node.size, streams))
+            # Move the file as coalesced block slices: progress (and
+            # byte accounting) advances in-flight, but a transfer costs at
+            # most MAX_CHUNK_EVENTS simulation events regardless of size.
+            rate = aggregate_rate_bps(network, streams, calibration.GO_WINDOW_BYTES)
+            yield self.ctx.sim.timeout(
+                slow_start_ramp_s(network, calibration.GO_WINDOW_BYTES)
+            )
+            for slice_bytes in coalesced_chunk_plan(node.size):
+                yield self.ctx.sim.timeout(slice_bytes * 8.0 / rate)
+                self.bytes_moved += slice_bytes
             dest.store(dst_path, node, now=self.ctx.now)
-            self.bytes_moved += node.size
         finally:
             src_req.release()
             dst_req.release()

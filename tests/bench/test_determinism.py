@@ -1,0 +1,32 @@
+"""Determinism regression: the perf fast paths must not move a single byte.
+
+Every optimisation in the kernel, the transfer model, and the Condor
+matchmaker is required to preserve event order exactly.  The strongest
+check we have is the committed paper artefacts: regenerating Fig. 10,
+Fig. 11, and the use-case table with the same seed must reproduce the
+files under ``benchmarks/results/`` byte for byte.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import figure10, figure11, usecase
+
+RESULTS_DIR = (
+    pathlib.Path(__file__).parent.parent.parent / "benchmarks" / "results"
+)
+
+
+@pytest.mark.parametrize(
+    "name, module",
+    [("figure10", figure10), ("figure11", figure11), ("usecase", usecase)],
+)
+def test_artefact_regenerates_byte_identically(name, module):
+    committed = RESULTS_DIR / f"{name}.txt"
+    if not committed.exists():
+        pytest.skip(f"no committed baseline {committed}")
+    regenerated = module.run().render() + "\n"
+    assert regenerated == committed.read_text(), (
+        f"{name} drifted: a perf change altered simulation behaviour"
+    )

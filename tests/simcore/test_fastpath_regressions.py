@@ -1,0 +1,174 @@
+"""Regressions pinned by the kernel fast-path work.
+
+Covers the two bug fixes that rode along with it (``run(until=...)`` on an
+already-processed failed event, and ``defused`` as a real attribute), the
+new per-simulator counters, and — as a property — that draining
+same-timestamp events through the zero-delay fast path preserves the
+(priority, insertion-order) semantics the heap alone used to guarantee.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcore import LAZY, NORMAL, URGENT, SimContext, Simulator
+
+
+# -- run(until=<already-processed event>) --------------------------------------
+
+
+def test_run_until_already_processed_failed_event_raises():
+    """A failed, defused, already-processed event must re-raise — not hand
+    the exception object back as if it were the result value."""
+    sim = Simulator()
+    ev = sim.event()
+    boom = RuntimeError("stale failure")
+    ev.fail(boom)
+    ev.defused = True
+    sim.run()                     # processes ev; defused, so no re-raise here
+    assert ev.processed
+    with pytest.raises(RuntimeError, match="stale failure"):
+        sim.run(until=ev)
+
+
+def test_run_until_already_processed_succeeded_event_returns_value():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("payload")
+    sim.run()
+    assert sim.run(until=ev) == "payload"
+
+
+# -- defused is a real slot ----------------------------------------------------
+
+
+def test_defused_defaults_false_and_is_settable():
+    sim = Simulator()
+    ev = sim.event()
+    assert ev.defused is False
+    ev.defused = True
+    assert ev.defused is True
+
+
+def test_defused_failure_does_not_raise_at_kernel():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("handled elsewhere"))
+    ev.defused = True
+    sim.run()                     # must not raise
+    assert ev.processed and not ev.ok
+
+
+def test_slots_leave_no_instance_dict():
+    sim = Simulator()
+    for obj in (sim, sim.event(), sim.timeout(1.0)):
+        assert not hasattr(obj, "__dict__")
+
+
+# -- per-simulator counters ----------------------------------------------------
+
+
+def test_counters_track_processing_and_depth():
+    sim = Simulator()
+    assert sim.events_processed == 0 and sim.peak_queue_depth == 0
+    for i in range(5):
+        sim.timeout(float(i))
+    assert sim.queue_depth == 5
+    sim.run()
+    # peak is sampled by the drain loop, so it is exact once run() returns
+    assert sim.peak_queue_depth == 5
+    assert sim.events_processed == 5
+    assert sim.queue_depth == 0
+
+
+def test_counters_are_per_simulator():
+    a, b = Simulator(), Simulator()
+    a.timeout(1.0)
+    a.run()
+    assert a.events_processed == 1
+    assert b.events_processed == 0
+
+
+# -- same-timestamp ordering property -----------------------------------------
+
+
+@given(
+    st.lists(
+        st.sampled_from([URGENT, NORMAL, LAZY]), min_size=1, max_size=40
+    )
+)
+def test_property_same_timestamp_order_is_priority_then_insertion(priorities):
+    """Zero-delay NORMAL events ride the fast-path deque while URGENT/LAZY
+    go through the heap; the merged drain order must still be a stable
+    sort by priority of the insertion sequence."""
+    sim = Simulator()
+    fired = []
+    for i, prio in enumerate(priorities):
+        ev = sim.event()
+        ev.callbacks.append(lambda _ev, i=i: fired.append(i))
+        ev.succeed(priority=prio)
+    sim.run()
+    expected = sorted(range(len(priorities)), key=lambda i: priorities[i])
+    assert fired == expected
+    assert sim.events_processed == len(priorities)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([0.0, 1.0]),
+            st.sampled_from([URGENT, NORMAL, LAZY]),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_mixed_delay_batches_keep_timestamp_grouping(items):
+    """Across two timestamps, all t=0 events fire before any t=1 event and
+    each batch is internally (priority, insertion)-ordered."""
+    sim = Simulator()
+    fired = []
+    for i, (delay, prio) in enumerate(items):
+        ev = sim.event()
+        ev.callbacks.append(lambda _ev, i=i: fired.append(i))
+        sim._schedule(ev, delay, prio)
+    sim.run()
+    expected = sorted(
+        range(len(items)), key=lambda i: (items[i][0], items[i][1])
+    )
+    assert fired == expected
+
+
+def test_callback_scheduled_urgent_at_same_time_preempts_fastpath():
+    """An URGENT event scheduled *during* a same-timestamp drain must fire
+    before queued NORMAL fast-path events — the batching cannot prefetch."""
+    sim = Simulator()
+    order = []
+
+    def first(_ev):
+        order.append("first")
+        urgent = sim.event()
+        urgent.callbacks.append(lambda _e: order.append("urgent"))
+        sim._schedule(urgent, 0.0, URGENT)
+
+    a, b = sim.event(), sim.event()
+    a.callbacks.append(first)
+    b.callbacks.append(lambda _e: order.append("second"))
+    a.succeed()
+    b.succeed()
+    sim.run()
+    assert order == ["first", "urgent", "second"]
+
+
+def test_lazy_event_defers_past_normal_work():
+    ctx = SimContext(seed=0)
+    sim = ctx.sim
+    order = []
+    lazy = sim.event()
+    lazy.callbacks.append(lambda _e: order.append("lazy"))
+    lazy.succeed(priority=LAZY)
+    n = sim.event()
+    n.callbacks.append(lambda _e: order.append("normal"))
+    n.succeed()
+    sim.run()
+    assert order == ["normal", "lazy"]
