@@ -1,35 +1,26 @@
-"""Design-choice ablations (DESIGN.md experiment index, last row)."""
+"""Design-choice ablations (DESIGN.md experiment index, last row).
 
-from repro.bench import ablations
+Thin wrappers: each test runs one spec of the ``ablations`` suite
+through the harness (the adapters call ``check_shape`` themselves) and
+saves the rendered artefact carried in the payload.
+"""
 
+import pytest
 
-def test_ami_preload_ablation(benchmark, save_result):
-    result = benchmark.pedantic(ablations.run_ami_ablation, rounds=1, iterations=1)
-    result.check_shape()
-    save_result("ablation_ami", result.render())
+from repro.bench import harness, suites
 
-
-def test_billing_model_ablation(benchmark, save_result):
-    result = benchmark.pedantic(ablations.run_billing_ablation, rounds=1, iterations=1)
-    result.check_shape()
-    save_result("ablation_billing", result.render())
+SPECS = {spec.name.split("/")[-1]: spec for spec in suites.ablations_suite().specs}
 
 
-def test_pool_width_ablation(benchmark, save_result):
-    result = benchmark.pedantic(
-        ablations.run_pool_width_ablation, rounds=1, iterations=1
-    )
-    result.check_shape()
-    save_result("ablation_pool_width", result.render())
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_ablation(benchmark, save_result, name):
+    spec = SPECS[name]
+    result = benchmark.pedantic(harness.run_spec, args=(spec,), rounds=1, iterations=1)
+    assert result.ok, result.error
+    save_result(f"ablation_{name}", result.payload["rendered"])
 
 
-def test_stream_count_ablation(benchmark, save_result):
-    result = benchmark.pedantic(ablations.run_stream_ablation, rounds=1, iterations=1)
-    result.check_shape()
-    save_result("ablation_streams", result.render())
-
-
-def test_batching_ablation(benchmark, save_result):
-    result = benchmark.pedantic(ablations.run_batching_ablation, rounds=1, iterations=1)
-    result.check_shape()
-    save_result("ablation_batching", result.render())
+def test_ablations_suite_fanout():
+    """The whole suite through the pool: every adapter's shape check holds."""
+    result = harness.run_suite(suites.ablations_suite(smoke=True), workers=2)
+    assert result.ok, [t.error for t in result.tasks if not t.ok]

@@ -1,26 +1,34 @@
-"""Figure 10: deployment time, execution time and cost per instance type."""
+"""Figure 10: deployment time, execution time and cost per instance type.
+
+A thin wrapper over the fan-out harness: the per-column runs come from
+the ``fig10`` suite registry, and the matrix test executes the full
+instance-type x cluster-width sweep through the worker pool.
+"""
 
 import pytest
 
-from repro.bench import figure10
+from repro.bench import figure10, harness, suites
+
+FIG10_COLUMNS = suites.fig10_suite(smoke=True).specs  # one spec per instance type
 
 
-@pytest.mark.parametrize("instance_type", figure10.INSTANCE_TYPES)
-def test_figure10_per_instance_type(benchmark, instance_type):
+@pytest.mark.parametrize("spec", FIG10_COLUMNS, ids=lambda s: s.name)
+def test_figure10_per_instance_type(benchmark, spec):
     """One column of Fig. 10; paper anchors asserted within 15%."""
-    row = benchmark.pedantic(
-        figure10.run_one, args=(instance_type,), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(harness.run_spec, args=(spec,), rounds=1, iterations=1)
+    assert result.ok, result.error
+    row = result.payload
     benchmark.extra_info.update(
-        deploy_min=round(row.deploy_min, 2),
-        exec_min=round(row.exec_min, 2),
-        cost_usd=round(row.cost_usd, 4),
+        deploy_min=round(row["deploy_min"], 2),
+        exec_min=round(row["exec_min"], 2),
+        cost_usd=round(row["cost_usd"], 4),
     )
+    instance_type = row["instance_type"]
     paper_exec = figure10.PAPER_EXEC_MIN[instance_type]
-    assert row.exec_min == pytest.approx(paper_exec, rel=0.15)
+    assert row["exec_min"] == pytest.approx(paper_exec, rel=0.15)
     paper_deploy = figure10.PAPER_DEPLOY_MIN[instance_type]
     if paper_deploy is not None:
-        assert row.deploy_min == pytest.approx(paper_deploy, rel=0.15)
+        assert row["deploy_min"] == pytest.approx(paper_deploy, rel=0.15)
 
 
 def test_figure10_full_series(benchmark, save_result):
@@ -33,3 +41,22 @@ def test_figure10_full_series(benchmark, save_result):
     speedup = small.exec_min / xlarge.exec_min
     cost_ratio = xlarge.cost_usd / small.cost_usd
     assert cost_ratio > speedup
+
+
+def test_figure10_matrix_fanout(benchmark):
+    """The full matrix through the pool; width-1 columns must match the
+    sequential driver exactly."""
+    suite = suites.fig10_suite()
+    result = benchmark.pedantic(
+        harness.run_suite, args=(suite,), kwargs={"workers": 4}, rounds=1, iterations=1
+    )
+    assert result.ok
+    sequential = {r.instance_type: r for r in figure10.run().rows}
+    for task in result.tasks:
+        row = task.payload
+        if row["cluster_nodes"] != 1:
+            continue
+        seq = sequential[row["instance_type"]]
+        assert row["deploy_min"] == seq.deploy_min
+        assert row["exec_min"] == seq.exec_min
+        assert row["cost_usd"] == seq.cost_usd

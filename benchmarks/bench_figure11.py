@@ -1,17 +1,23 @@
-"""Figure 11: transfer rate by method and file size."""
+"""Figure 11: transfer rate by method and file size (via the harness)."""
 
 import pytest
 
-from repro.bench import figure11
+from repro.bench import figure11, harness
+from repro.bench.harness import BenchSpec
 from repro.calibration import GB, MB
+
+FULL_SWEEP = BenchSpec(name="fig11/sweep", task="fig11.sweep")
 
 
 def test_figure11_full_series(benchmark, save_result):
-    result = benchmark.pedantic(figure11.run, rounds=1, iterations=1)
-    result.check_shape()
-    save_result("figure11", result.render())
-    go = [r for r in result.rates["globus"] if r is not None]
-    ftp = [r for r in result.rates["ftp"] if r is not None]
+    result = benchmark.pedantic(
+        harness.run_spec, args=(FULL_SWEEP,), rounds=1, iterations=1
+    )
+    assert result.ok, result.error
+    save_result("figure11", result.payload["rendered"])
+    rates = result.payload["rates"]
+    go = [r for r in rates["globus"] if r is not None]
+    ftp = [r for r in rates["ftp"] if r is not None]
     # paper envelopes, within 20%
     assert min(go) == pytest.approx(figure11.PAPER_GO_RANGE_MBPS[0], rel=0.2)
     assert max(go) == pytest.approx(figure11.PAPER_GO_RANGE_MBPS[1], rel=0.2)
@@ -20,20 +26,27 @@ def test_figure11_full_series(benchmark, save_result):
 
 
 def test_figure11_http_refuses_over_2gb(benchmark):
-    result = benchmark.pedantic(
-        figure11.run, kwargs={"sizes": [1 * MB, 2 * GB + MB]}, rounds=1, iterations=1
+    spec = BenchSpec(
+        name="fig11/2gb", task="fig11.sweep", params={"sizes": [1 * MB, 2 * GB + MB]}
     )
-    assert result.rates["http"][0] is not None
-    assert result.rates["http"][1] is None  # refused: over the 2 GB cap
-    assert result.rates["globus"][1] is not None  # GO handles it fine
+    result = benchmark.pedantic(harness.run_spec, args=(spec,), rounds=1, iterations=1)
+    assert result.ok, result.error
+    rates = result.payload["rates"]
+    assert rates["http"][0] is not None
+    assert rates["http"][1] is None  # refused: over the 2 GB cap
+    assert rates["globus"][1] is not None  # GO handles it fine
 
 
 def test_figure11_order_of_magnitude_claim(benchmark):
     """Intro claim: 'performance improvements up to an order of magnitude'."""
-    result = benchmark.pedantic(figure11.run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        harness.run_spec, args=(FULL_SWEEP,), rounds=1, iterations=1
+    )
+    assert result.ok, result.error
+    rates = result.payload["rates"]
     ratios = [
         go / ftp
-        for go, ftp in zip(result.rates["globus"], result.rates["ftp"])
+        for go, ftp in zip(rates["globus"], rates["ftp"])
         if go is not None and ftp is not None
     ]
     assert max(ratios) >= 6.0

@@ -1,60 +1,78 @@
-"""Scale benchmark: the first entry in the repo's perf trajectory.
+"""Scale benchmark: the tracked entry in the repo's perf trajectory.
 
-Deploys a 128-node GP topology, pushes 500 concurrent Globus transfers
-and 2000 Condor jobs through it, and records kernel throughput
-(events/second of wall time), wall time, and peak scheduler queue depth
-to ``BENCH_scale.json`` at the repo root.
+Runs the full scale grid (the 128-node headline config plus shape/seed
+variants) through the fan-out harness, refreshes ``BENCH_scale.json``
+with the headline snapshot, and appends a per-commit record to
+``BENCH_trajectory.json``.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_scale.py
+    PYTHONPATH=src python benchmarks/bench_scale.py [--workers N]
 
-or via pytest (the full run is marked ``slow``)::
+or via pytest (the full grid is marked ``slow``)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -m slow
 """
 
+import argparse
 import json
 import pathlib
 
 import pytest
 
-from repro.bench import scale
+from repro.bench import harness, suites, trajectory
 
-#: the perf-trajectory artefact lives at the repo root, next to ROADMAP.md
-RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+#: the headline snapshot lives at the repo root, next to ROADMAP.md
+RESULT_PATH = REPO_ROOT / "BENCH_scale.json"
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_trajectory.json"
 
 
-def run_and_save(config: scale.ScaleConfig = scale.FULL_CONFIG) -> scale.ScaleResult:
-    result = scale.run(config)
-    result.check_shape()
-    RESULT_PATH.write_text(result.to_json() + "\n")
+def run_and_save(workers: int = 1) -> harness.SuiteResult:
+    suite = suites.scale_suite()
+    result = harness.run_suite(suite, workers=workers)
+    assert result.ok, [t.error for t in result.tasks if not t.ok]
+    headline = result.tasks[0]  # FULL_CONFIG is the first grid point
+    RESULT_PATH.write_text(
+        json.dumps(headline.payload, indent=2, sort_keys=True) + "\n"
+    )
+    trajectory.append(trajectory.from_suite_result(result), TRAJECTORY_PATH)
     return result
 
 
 @pytest.mark.slow
 def test_scale_full(benchmark):
-    """The headline run; simulation metrics are seed-deterministic."""
+    """The headline grid; simulation metrics are seed-deterministic."""
     result = benchmark.pedantic(run_and_save, rounds=1, iterations=1)
+    headline = result.tasks[0].payload
     benchmark.extra_info.update(
-        events_per_sec=round(result.events_per_sec),
-        events_processed=result.events_processed,
-        peak_queue_depth=result.peak_queue_depth,
+        events_per_sec=round(headline["events_per_sec"]),
+        events_processed=headline["events_processed"],
+        peak_queue_depth=headline["peak_queue_depth"],
     )
-    assert result.nodes == 128
+    assert headline["nodes"] == 128
 
 
 def main() -> None:
-    result = run_and_save()
-    print(result.to_json())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-w", "--workers", type=int, default=1)
+    args = parser.parse_args()
+    result = run_and_save(workers=args.workers)
+    print(result.render())
+    headline = result.tasks[0].payload
     print(f"\nwrote {RESULT_PATH}")
     print(
-        f"{result.nodes} nodes | {result.config.transfers} transfers | "
-        f"{result.config.jobs} jobs | "
-        f"{result.events_processed} events in {result.wall_seconds:.2f}s wall "
-        f"({result.events_per_sec:,.0f} ev/s) | "
-        f"peak queue depth {result.peak_queue_depth}"
+        f"{headline['nodes']} nodes | "
+        f"{headline['config']['transfers']} transfers | "
+        f"{headline['config']['jobs']} jobs | "
+        f"{headline['events_processed']} events in "
+        f"{headline['wall_seconds']:.2f}s wall "
+        f"({headline['events_per_sec']:,.0f} ev/s) | "
+        f"peak queue depth {headline['peak_queue_depth']}"
     )
+    print()
+    print(trajectory.render(trajectory.load(TRAJECTORY_PATH), last=10))
+    print(f"appended to {TRAJECTORY_PATH}")
 
 
 if __name__ == "__main__":

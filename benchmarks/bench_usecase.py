@@ -1,17 +1,17 @@
-"""Sec. V-A use case: dynamic expansion of the Condor pool."""
+"""Sec. V-A use case: dynamic expansion of the Condor pool (via the harness)."""
 
 import pytest
 
-from repro.bench import usecase
+from repro.bench import harness, suites, usecase
+
+SPEC = suites.usecase_suite().specs[0]
 
 
 def test_usecase_scaling(benchmark, save_result):
-    bench = benchmark.pedantic(usecase.run, rounds=1, iterations=1)
-    bench.check_shape()
-    save_result("usecase", bench.render())
-    assert bench.baseline.steps34_minutes == pytest.approx(
-        usecase.PAPER_BASELINE_MIN, rel=0.1
-    )
-    assert bench.scaled.steps34_minutes == pytest.approx(
-        usecase.PAPER_SCALED_MIN, rel=0.15
-    )
+    result = benchmark.pedantic(harness.run_spec, args=(SPEC,), rounds=1, iterations=1)
+    assert result.ok, result.error
+    payload = result.payload
+    save_result("usecase", payload["rendered"])
+    assert payload["baseline_min"] == pytest.approx(usecase.PAPER_BASELINE_MIN, rel=0.1)
+    assert payload["scaled_min"] == pytest.approx(usecase.PAPER_SCALED_MIN, rel=0.15)
+    assert payload["step4_machine"] == "simple-condor-wn2"

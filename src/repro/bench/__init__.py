@@ -3,8 +3,23 @@
 One module per paper artefact: Fig. 10 (deployment/execution/cost by
 instance type), Fig. 11 (transfer rate by method and file size), the
 Sec. V-A use case, and the design-choice ablations DESIGN.md calls out.
+
+On top of the drivers sit the fan-out layers: ``harness`` (the parallel
+orchestrator), ``suites`` (the spec registry mapping artefacts onto
+harness columns), ``trajectory`` (the per-commit perf series), and
+``cli`` (``gp-bench`` / ``python -m repro.bench``).
 """
 
-from . import ablations, figure10, figure11, scale, usecase
+from . import ablations, figure10, figure11, scale, usecase  # noqa: I001
+from . import harness, suites, trajectory
 
-__all__ = ["ablations", "figure10", "figure11", "scale", "usecase"]
+__all__ = [
+    "ablations",
+    "figure10",
+    "figure11",
+    "harness",
+    "scale",
+    "suites",
+    "trajectory",
+    "usecase",
+]

@@ -1,0 +1,148 @@
+"""``gp-bench`` / ``python -m repro.bench``: run benchmark suites.
+
+Examples::
+
+    gp-bench --list                         # what would run
+    gp-bench --smoke --workers 4            # CI smoke sweep, fanned out
+    gp-bench scale --workers 4 --json-out suite.json --trajectory
+    gp-bench fig10 fig11 --workers 2        # a subset of suites
+
+Exit status is non-zero if any task failed or timed out, so CI can gate
+on the sweep directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import suites, trajectory
+from .harness import run_suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gp-bench",
+        description="Fan the benchmark suites out across worker processes.",
+    )
+    parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="SUITE",
+        help=f"suites to run (default: all of {', '.join(suites.names())})",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the smoke shapes (same code paths, seconds not minutes)",
+    )
+    parser.add_argument(
+        "-w", "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 = sequential in-process (default)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="per-task timeout in seconds when workers > 1 (default 600)",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=pathlib.Path,
+        help="write the merged suite result (JSON) here",
+    )
+    parser.add_argument(
+        "--sim-json-out",
+        type=pathlib.Path,
+        help="write the host-independent simulation metrics (JSON) here",
+    )
+    parser.add_argument(
+        "--trajectory",
+        nargs="?",
+        type=pathlib.Path,
+        const=trajectory.DEFAULT_PATH,
+        default=None,
+        metavar="PATH",
+        help=f"append a perf-trajectory record (default path: {trajectory.DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--commit", help="override the commit stamped into the trajectory record"
+    )
+    parser.add_argument(
+        "--date", help="override the date stamped into the trajectory record"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list suites and specs, then exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-task progress lines"
+    )
+    return parser
+
+
+def _list_suites(smoke: bool) -> None:
+    for name in suites.names():
+        suite = suites.get(name, smoke=smoke)
+        print(f"{name}: {suite.description} ({len(suite.specs)} specs)")
+        for spec in suite.specs:
+            print(f"  {spec.name}  [{spec.task}] {spec.params or ''}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    for name in args.suites:
+        if name not in suites.names():
+            print(
+                f"error: unknown suite {name!r}; known: {', '.join(suites.names())}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.list:
+        _list_suites(args.smoke)
+        return 0
+
+    suite = suites.combined(args.suites or None, smoke=args.smoke)
+    mode = f"{args.workers} workers" if args.workers > 1 else "sequential"
+    print(f"running suite {suite.name!r}: {len(suite.specs)} specs, {mode}")
+
+    progress = None
+    if not args.quiet:
+        def progress(result):
+            print(f"  {result.spec.name:<40} {result.status:<8} {result.wall_seconds:.3f}s")
+
+    result = run_suite(
+        suite,
+        workers=args.workers,
+        default_timeout_s=args.timeout,
+        progress=progress,
+    )
+
+    print()
+    print(result.render())
+
+    if args.json_out:
+        args.json_out.write_text(result.to_json() + "\n")
+        print(f"wrote {args.json_out}")
+    if args.sim_json_out:
+        args.sim_json_out.write_text(result.sim_json() + "\n")
+        print(f"wrote {args.sim_json_out}")
+
+    if args.trajectory is not None:
+        record = trajectory.from_suite_result(
+            result, commit=args.commit, date=args.date
+        )
+        records = trajectory.append(record, args.trajectory)
+        print()
+        print(trajectory.render(records, last=10))
+        print(f"appended to {args.trajectory}")
+
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ class Figure10Row:
     deploy_min: float
     exec_min: float
     cost_usd: float
+    cluster_nodes: int = 1
 
 
 @dataclass
@@ -71,24 +72,37 @@ class Figure10Result:
     def comparison(self) -> Comparison:
         cmp = Comparison("Figure 10 paper-vs-measured")
         for r in self.rows:
-            cmp.add(f"exec min ({r.instance_type})", PAPER_EXEC_MIN.get(r.instance_type), round(r.exec_min, 2))
-            cmp.add(f"deploy min ({r.instance_type})", PAPER_DEPLOY_MIN.get(r.instance_type), round(r.deploy_min, 2))
-        cmp.add("cost USD (m1.small)", PAPER_COST_USD["m1.small"], round(self.row("m1.small").cost_usd, 4))
-        cmp.add("cost USD (m1.xlarge)", PAPER_COST_USD["m1.xlarge"], round(self.row("m1.xlarge").cost_usd, 4))
+            cmp.add(f"exec min ({r.instance_type})",
+                    PAPER_EXEC_MIN.get(r.instance_type), round(r.exec_min, 2))
+            cmp.add(f"deploy min ({r.instance_type})",
+                    PAPER_DEPLOY_MIN.get(r.instance_type), round(r.deploy_min, 2))
+        cmp.add("cost USD (m1.small)", PAPER_COST_USD["m1.small"],
+                round(self.row("m1.small").cost_usd, 4))
+        cmp.add("cost USD (m1.xlarge)", PAPER_COST_USD["m1.xlarge"],
+                round(self.row("m1.xlarge").cost_usd, 4))
         return cmp
 
 
-def run_one(instance_type: str, seed: int = 0) -> Figure10Row:
-    """One column of the figure: a fresh world per instance type."""
+def run_one(instance_type: str, seed: int = 0, cluster_nodes: int = 1) -> Figure10Row:
+    """One column of the figure: a fresh world per instance type.
+
+    ``cluster_nodes`` widens the worker pool beyond the paper's single
+    executing node; the fan-out suite sweeps it to extend the figure's
+    matrix (instance type x cluster width).
+    """
     bed = CloudTestbed(seed=seed)
     result = run_usecase(
-        bed=bed, instance_type=instance_type, cluster_nodes=1, scale_up_with=None
+        bed=bed,
+        instance_type=instance_type,
+        cluster_nodes=cluster_nodes,
+        scale_up_with=None,
     )
     return Figure10Row(
         instance_type=instance_type,
         deploy_min=result.deploy_minutes,
         exec_min=result.steps34_minutes,
         cost_usd=result.steps34_cost_usd(bed),
+        cluster_nodes=cluster_nodes,
     )
 
 

@@ -1,0 +1,134 @@
+"""Tracked perf trajectory: one record per benchmark run, per commit.
+
+``BENCH_scale.json`` captures a single snapshot; this module turns it
+into a series.  Every harness run can append a record —
+
+    {commit, date, suite, config_digest, workers, wall_seconds,
+     events_processed, events_per_sec, tasks_ok, tasks_failed}
+
+— to ``BENCH_trajectory.json`` (a JSON list at the repo root), and
+render the events/sec-over-commits table via ``repro.reporting``.  The
+kernel-throughput aggregate comes from the tasks that report kernel
+counters (the scale grid): total events processed divided by the wall
+time those tasks took, so the number is comparable across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+
+from ..reporting import render_table
+from .harness import SuiteResult
+
+#: default artefact location (relative to the invoking directory; the
+#: CLI and ``benchmarks/bench_scale.py`` pass the repo-root path)
+DEFAULT_PATH = pathlib.Path("BENCH_trajectory.json")
+
+
+@dataclass(frozen=True)
+class TrajectoryRecord:
+    commit: str
+    date: str
+    suite: str
+    config_digest: str
+    workers: int
+    wall_seconds: float
+    events_processed: int
+    events_per_sec: float
+    tasks_ok: int
+    tasks_failed: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TrajectoryRecord":
+        return cls(**{k: doc[k] for k in cls.__dataclass_fields__})
+
+
+def current_commit() -> str:
+    """Short hash of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def utc_now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def from_suite_result(
+    result: SuiteResult, commit: str | None = None, date: str | None = None
+) -> TrajectoryRecord:
+    """Aggregate a suite run into one trajectory point."""
+    events = 0
+    kernel_wall = 0.0
+    for t in result.tasks:
+        if t.ok and isinstance(t.payload, dict) and "events_processed" in t.payload:
+            events += int(t.payload["events_processed"])
+            kernel_wall += t.wall_seconds
+    counts = result.counts()
+    return TrajectoryRecord(
+        commit=commit if commit is not None else current_commit(),
+        date=date if date is not None else utc_now_iso(),
+        suite=result.suite,
+        config_digest=result.config_digest(),
+        workers=result.workers,
+        wall_seconds=round(result.wall_seconds, 4),
+        events_processed=events,
+        events_per_sec=round(events / kernel_wall, 1) if kernel_wall > 0 else 0.0,
+        tasks_ok=counts["ok"],
+        tasks_failed=counts["failed"] + counts["timeout"],
+    )
+
+
+def load(path: pathlib.Path | str = DEFAULT_PATH) -> list[TrajectoryRecord]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    docs = json.loads(path.read_text())
+    return [TrajectoryRecord.from_dict(doc) for doc in docs]
+
+
+def append(
+    record: TrajectoryRecord, path: pathlib.Path | str = DEFAULT_PATH
+) -> list[TrajectoryRecord]:
+    """Append one record and rewrite the file; returns the full series."""
+    records = load(path)
+    records.append(record)
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True) + "\n"
+    )
+    return records
+
+
+def render(records: list[TrajectoryRecord], last: int | None = None) -> str:
+    """The events/sec-over-commits table (most recent rows last)."""
+    shown = records[-last:] if last else records
+    rows = [
+        (
+            r.commit,
+            r.date,
+            r.suite,
+            r.workers,
+            f"{r.events_per_sec:,.0f}",
+            f"{r.wall_seconds:.2f}",
+            f"{r.tasks_ok}/{r.tasks_ok + r.tasks_failed}",
+        )
+        for r in shown
+    ]
+    return render_table(
+        ["commit", "date", "suite", "workers", "events/sec", "wall (s)", "ok"],
+        rows,
+        title=f"Perf trajectory ({len(records)} runs tracked)",
+    )

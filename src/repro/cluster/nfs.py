@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import posixpath
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 
@@ -197,7 +197,9 @@ class Mount:
         if path != mp and not path.startswith(mp + "/"):
             raise FilesystemError(f"{path} is not under mount {mp}")
         rel = path[len(mp):]
-        return _norm(posixpath.join(self.server.export, rel.lstrip("/")) if rel else self.server.export)
+        if not rel:
+            return _norm(self.server.export)
+        return _norm(posixpath.join(self.server.export, rel.lstrip("/")))
 
 
 class MountTable:

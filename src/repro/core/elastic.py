@@ -12,7 +12,7 @@ under backlog and shrinks it when idle, always through the same topology
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..provision.instance import GlobusProvision
 from ..provision.topology import with_extra_worker

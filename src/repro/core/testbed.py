@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .. import calibration
 from ..chef import ChefRunner
 from ..cloud import BillingMeter, MockEC2, PriceBook
 from ..cluster import SimFilesystem

@@ -26,8 +26,6 @@ from .formats import (
     BamArchive,
     CelArchive,
     ExpressionMatrix,
-    FormatError,
-    TranscriptAnnotation,
     sniff,
 )
 

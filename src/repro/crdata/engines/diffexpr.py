@@ -165,7 +165,8 @@ def student_t_test(
     log_fc = g2.mean(axis=1) - g1.mean(axis=1)
     ave = m.mean(axis=1)
     rows = [
-        TopTableRow(names[i], float(log_fc[i]), float(ave[i]), float(t[i]), float(p[i]), float(adj[i]))
+        TopTableRow(names[i], float(log_fc[i]), float(ave[i]), float(t[i]),
+                    float(p[i]), float(adj[i]))
         for i in range(m.shape[0])
     ]
     rows.sort(key=lambda r: r.p_value)

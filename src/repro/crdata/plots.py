@@ -160,7 +160,8 @@ def boxplot_svg(summaries: np.ndarray, labels: list[str], title: str) -> str:
         w = width * 0.6
         mn, q1, med, q3, mx = s[:, j]
         parts.append(
-            f'<line x1="{cx:.1f}" y1="{ypix(mn):.1f}" x2="{cx:.1f}" y2="{ypix(mx):.1f}" stroke="black"/>'
+            f'<line x1="{cx:.1f}" y1="{ypix(mn):.1f}" x2="{cx:.1f}" '
+            f'y2="{ypix(mx):.1f}" stroke="black"/>'
         )
         parts.append(
             f'<rect x="{cx - w / 2:.1f}" y="{ypix(q3):.1f}" width="{w:.1f}" '

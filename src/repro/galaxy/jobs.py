@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import inspect
 import posixpath
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
 from .. import calibration

@@ -11,11 +11,11 @@ re-submits a recorded job with identical parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .datasets import Dataset, History
-from .jobs import Job, JobManager, JobState
+from .jobs import Job, JobManager
 
 
 class ProvenanceError(Exception):

@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from .deployer import Deployer, Deployment, DeploymentError, UpdateReport
+from .deployer import Deployer, Deployment, UpdateReport
 from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle

@@ -137,7 +137,9 @@ class StorePut(SimEvent):
 class StoreGet(SimEvent):
     __slots__ = ("filter_fn",)
 
-    def __init__(self, store: "Store", filter_fn: Optional[Callable[[object], bool]] = None) -> None:
+    def __init__(
+        self, store: "Store", filter_fn: Optional[Callable[[object], bool]] = None
+    ) -> None:
         super().__init__(store.sim)
         self.filter_fn = filter_fn
         store._get_queue.append(self)

@@ -5,6 +5,8 @@ import pytest
 from repro.bench import ablations, figure10, figure11, usecase
 from repro.calibration import GB, MB
 
+pytestmark = pytest.mark.bench
+
 
 def test_figure10_single_column():
     row = figure10.run_one("c1.medium")

@@ -13,6 +13,8 @@ import pytest
 
 from repro.bench import figure10, figure11, usecase
 
+pytestmark = pytest.mark.bench
+
 RESULTS_DIR = (
     pathlib.Path(__file__).parent.parent.parent / "benchmarks" / "results"
 )

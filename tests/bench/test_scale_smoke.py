@@ -6,7 +6,11 @@ concurrent transfers, Condor load, metric collection — in well under a
 second, and pins that the simulation metrics are seed-deterministic.
 """
 
+import pytest
+
 from repro.bench import scale
+
+pytestmark = pytest.mark.bench
 
 
 def test_smoke_config_completes_and_checks_shape():

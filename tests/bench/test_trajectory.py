@@ -1,0 +1,75 @@
+"""Trajectory artefact: append, round-trip, aggregation, rendering."""
+
+import json
+
+import pytest
+
+from repro.bench import suites, trajectory
+from repro.bench.harness import run_suite
+
+pytestmark = pytest.mark.bench
+
+
+def _record(**overrides):
+    doc = dict(
+        commit="abc1234",
+        date="2026-08-07T00:00:00+00:00",
+        suite="scale",
+        config_digest="0" * 16,
+        workers=4,
+        wall_seconds=1.25,
+        events_processed=20000,
+        events_per_sec=16000.0,
+        tasks_ok=4,
+        tasks_failed=0,
+    )
+    doc.update(overrides)
+    return trajectory.TrajectoryRecord(**doc)
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = tmp_path / "traj.json"
+    assert trajectory.load(path) == []
+    trajectory.append(_record(commit="aaaa111"), path)
+    records = trajectory.append(_record(commit="bbbb222"), path)
+    assert [r.commit for r in records] == ["aaaa111", "bbbb222"]
+    assert trajectory.load(path) == records
+    # the file is a plain JSON list, readable without this module
+    doc = json.loads(path.read_text())
+    assert [d["commit"] for d in doc] == ["aaaa111", "bbbb222"]
+
+
+def test_from_suite_result_aggregates_kernel_counters():
+    result = run_suite(suites.scale_suite(smoke=True), workers=1)
+    record = trajectory.from_suite_result(result, commit="c0ffee1", date="2026-08-07")
+    assert record.commit == "c0ffee1"
+    assert record.suite == result.suite
+    assert record.config_digest == result.config_digest()
+    expected_events = sum(t.payload["events_processed"] for t in result.tasks)
+    assert record.events_processed == expected_events
+    assert record.events_per_sec > 0
+    assert record.tasks_ok == len(result.tasks)
+    assert record.tasks_failed == 0
+
+
+def test_from_suite_result_without_kernel_counters():
+    result = run_suite(suites.fig11_suite(smoke=True), workers=1)
+    record = trajectory.from_suite_result(result, commit="c0ffee1", date="2026-08-07")
+    assert record.events_processed == 0
+    assert record.events_per_sec == 0.0
+
+
+def test_render_shows_most_recent_commits(tmp_path):
+    path = tmp_path / "traj.json"
+    for i in range(12):
+        trajectory.append(_record(commit=f"commit{i:02d}"), path)
+    records = trajectory.load(path)
+    table = trajectory.render(records, last=3)
+    assert "commit11" in table and "commit09" in table
+    assert "commit00" not in table
+    assert "12 runs tracked" in table
+
+
+def test_current_commit_returns_short_hash_or_unknown():
+    commit = trajectory.current_commit()
+    assert commit == "unknown" or (4 <= len(commit) <= 40)

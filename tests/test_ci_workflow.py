@@ -1,0 +1,80 @@
+"""Schema sanity for the CI pipeline: valid YAML, pinned actions, the
+jobs the repo's workflow contract requires."""
+
+import pathlib
+import re
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = (
+    pathlib.Path(__file__).parent.parent / ".github" / "workflows" / "ci.yml"
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    doc = yaml.safe_load(WORKFLOW.read_text())
+    assert isinstance(doc, dict)
+    return doc
+
+
+def _steps(workflow, job):
+    return workflow["jobs"][job]["steps"]
+
+
+def test_workflow_parses_and_has_triggers(workflow):
+    # YAML 1.1 parses the bare `on:` key as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_required_jobs_exist(workflow):
+    assert {"lint", "tests", "bench-smoke"} <= set(workflow["jobs"])
+
+
+def test_all_actions_are_version_pinned(workflow):
+    uses = [
+        step["uses"]
+        for job in workflow["jobs"].values()
+        for step in job["steps"]
+        if "uses" in step
+    ]
+    assert uses, "expected at least one action reference"
+    for ref in uses:
+        assert re.search(r"@v\d+", ref), f"unpinned action: {ref}"
+
+
+def test_test_jobs_run_on_310_and_312(workflow):
+    for job in ("tests", "bench-smoke"):
+        versions = workflow["jobs"][job]["strategy"]["matrix"]["python-version"]
+        assert versions == ["3.10", "3.12"]
+
+
+def test_tests_job_runs_tier1(workflow):
+    commands = [s.get("run", "") for s in _steps(workflow, "tests")]
+    assert any("python -m pytest -x -q" in c for c in commands)
+
+
+def test_bench_job_runs_smoke_harness_and_determinism(workflow):
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    smoke = [c for c in commands if "python -m repro.bench" in c and "--smoke" in c]
+    assert smoke, "bench-smoke must run the harness in --smoke mode"
+    assert any("--workers" in c for c in smoke)
+    assert any("test_determinism" in c for c in commands)
+
+
+def test_bench_job_uploads_suite_artifact(workflow):
+    uploads = [
+        s for s in _steps(workflow, "bench-smoke")
+        if "upload-artifact" in s.get("uses", "")
+    ]
+    assert uploads
+    assert "bench-smoke-suite.json" in uploads[0]["with"]["path"]
+
+
+def test_lint_job_runs_ruff(workflow):
+    commands = [s.get("run", "") for s in _steps(workflow, "lint")]
+    assert any("ruff check" in c for c in commands)
