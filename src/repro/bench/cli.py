@@ -17,6 +17,7 @@ import argparse
 import pathlib
 import sys
 
+from ..simcore import SCHEDULERS
 from . import suites, trajectory
 from .harness import run_suite
 
@@ -48,6 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=600.0,
         help="per-task timeout in seconds when workers > 1 (default 600)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=list(SCHEDULERS),
+        default=None,
+        help=(
+            "kernel event queue for every task: 'heap' (binary heap, the"
+            " default) or 'wheel' (calendar queue); sim JSON is"
+            " byte-identical under either"
+        ),
     )
     parser.add_argument(
         "--json-out",
@@ -108,7 +119,8 @@ def main(argv: list[str] | None = None) -> int:
 
     suite = suites.combined(args.suites or None, smoke=args.smoke)
     mode = f"{args.workers} workers" if args.workers > 1 else "sequential"
-    print(f"running suite {suite.name!r}: {len(suite.specs)} specs, {mode}")
+    sched = f", scheduler={args.scheduler}" if args.scheduler else ""
+    print(f"running suite {suite.name!r}: {len(suite.specs)} specs, {mode}{sched}")
 
     progress = None
     if not args.quiet:
@@ -120,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         default_timeout_s=args.timeout,
         progress=progress,
+        scheduler=args.scheduler,
     )
 
     print()

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..reporting import render_table
+from ..simcore import SCHEDULERS, default_scheduler, set_default_scheduler
 
 #: metric keys that legitimately vary between hosts/runs; everything else
 #: in a payload must be byte-identical for a given spec.
@@ -158,6 +159,10 @@ class SuiteResult:
     workers: int
     wall_seconds: float
     tasks: list[TaskResult]
+    #: kernel scheduler the tasks ran under; reported in :meth:`to_dict`
+    #: but deliberately absent from :meth:`sim_dict` — the schedulers are
+    #: equivalent, so the determinism pin must not depend on the choice.
+    scheduler: str = "heap"
 
     @property
     def ok(self) -> bool:
@@ -176,6 +181,7 @@ class SuiteResult:
         return {
             "suite": self.suite,
             "workers": self.workers,
+            "scheduler": self.scheduler,
             "config_digest": self.config_digest(),
             "wall_seconds": self.wall_seconds,
             "counts": self.counts(),
@@ -246,12 +252,26 @@ def _strip_host_dependent(obj):
 # ---------------------------------------------------------------------------
 
 
-def _execute(spec: BenchSpec) -> tuple[str, dict | None, float, str | None]:
-    """Run one spec in the current process; exceptions become records."""
+def _execute(
+    spec: BenchSpec, scheduler: str | None = None
+) -> tuple[str, dict | None, float, str | None]:
+    """Run one spec in the current process; exceptions become records.
+
+    ``scheduler`` pins the kernel's default scheduler for the duration
+    of the task (restored afterwards), so every simulation the task
+    builds — tasks construct their own ``SimContext`` — runs under it.
+    """
     t0 = time.perf_counter()
     try:
         fn = resolve_task(spec.task)
-        payload = fn(**spec.params)
+        if scheduler is None:
+            payload = fn(**spec.params)
+        else:
+            previous = set_default_scheduler(scheduler)
+            try:
+                payload = fn(**spec.params)
+            finally:
+                set_default_scheduler(previous)
         # canonicalize so in-process and piped results merge identically
         payload = json.loads(json.dumps(payload))
         return "ok", payload, time.perf_counter() - t0, None
@@ -259,13 +279,18 @@ def _execute(spec: BenchSpec) -> tuple[str, dict | None, float, str | None]:
         return "failed", None, time.perf_counter() - t0, traceback.format_exc()
 
 
-def run_spec(spec: BenchSpec) -> TaskResult:
+def run_spec(spec: BenchSpec, scheduler: str | None = None) -> TaskResult:
     """In-process execution of a single spec (the drivers' entry point)."""
-    return TaskResult(spec, *_execute(spec))
+    return TaskResult(spec, *_execute(spec, scheduler))
 
 
 def _worker_main(conn) -> None:
-    """Persistent worker loop: recv a spec dict, send a result tuple."""
+    """Persistent worker loop: recv a spec dict, send a result tuple.
+
+    The spec dict may carry a ``scheduler`` key (the harness's
+    ``--scheduler`` plumbing); it rides alongside the spec fields so the
+    pipe protocol stays one flat dict each way.
+    """
     from . import suites  # noqa: F401  (registers tasks under spawn)
 
     while True:
@@ -275,9 +300,10 @@ def _worker_main(conn) -> None:
             break
         if doc is None:
             break
+        scheduler = doc.pop("scheduler", None)
         spec = BenchSpec.from_dict(doc)
         try:
-            conn.send(_execute(spec))
+            conn.send(_execute(spec, scheduler))
         except Exception:
             try:
                 conn.send(("failed", None, 0.0, traceback.format_exc()))
@@ -306,8 +332,11 @@ class _Worker:
     def busy(self) -> bool:
         return self.current is not None
 
-    def assign(self, idx: int, spec: BenchSpec) -> None:
-        self.conn.send(spec.to_dict())
+    def assign(self, idx: int, spec: BenchSpec, scheduler: str | None) -> None:
+        doc = spec.to_dict()
+        if scheduler is not None:
+            doc["scheduler"] = scheduler
+        self.conn.send(doc)
         self.current = (idx, spec, time.perf_counter())
 
     def stop(self) -> None:
@@ -333,7 +362,7 @@ class _Worker:
             self.proc.join(timeout=1.0)
 
 
-def _run_pool(specs, workers, default_timeout_s, start_method, progress):
+def _run_pool(specs, workers, default_timeout_s, start_method, progress, scheduler):
     ctx = multiprocessing.get_context(start_method or default_start_method())
     n_workers = max(1, min(workers, len(specs)))
     pool: list[_Worker | None] = [_Worker(ctx) for _ in range(n_workers)]
@@ -362,7 +391,7 @@ def _run_pool(specs, workers, default_timeout_s, start_method, progress):
                     continue
                 idx, spec = pending.popleft()
                 try:
-                    w.assign(idx, spec)
+                    w.assign(idx, spec, scheduler)
                 except (BrokenPipeError, OSError):
                     # died idle; put the spec back and respawn the slot
                     pending.appendleft((idx, spec))
@@ -423,24 +452,44 @@ def run_suite(
     default_timeout_s: float | None = 600.0,
     start_method: str | None = None,
     progress=None,
+    scheduler: str | None = None,
 ) -> SuiteResult:
     """Execute every spec and merge the results deterministically.
 
     ``workers=1`` runs in-process (no timeouts are enforced — there is
     no process to terminate); ``workers>1`` fans out across a persistent
     process pool with crash isolation and per-task timeouts.
+
+    ``scheduler`` selects the kernel event queue (``"heap"`` or
+    ``"wheel"``) for every task; the schedulers are pop-order
+    equivalent, so ``sim_json()`` is byte-identical under either.
     """
+    if scheduler is not None and scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
     t0 = time.perf_counter()
     if workers <= 1:
         results = []
         for spec in suite.specs:
-            result = run_spec(spec)
+            result = run_spec(spec, scheduler)
             results.append(result)
             if progress is not None:
                 progress(result)
     else:
         results = _run_pool(
-            list(suite.specs), workers, default_timeout_s, start_method, progress
+            list(suite.specs),
+            workers,
+            default_timeout_s,
+            start_method,
+            progress,
+            scheduler,
         )
     wall = time.perf_counter() - t0
-    return SuiteResult(suite.name, workers, wall, list(results))
+    return SuiteResult(
+        suite.name,
+        workers,
+        wall,
+        list(results),
+        scheduler if scheduler is not None else default_scheduler(),
+    )

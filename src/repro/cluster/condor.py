@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from heapq import merge as _heapq_merge
 from typing import Any, Callable, Optional
 
 from .. import calibration
@@ -201,6 +202,13 @@ class Schedd:
         # re-queues an old job out of order, which marks it dirty.
         self._idle: dict[int, CondorJob] = {}
         self._idle_dirty = False
+        # The same idle jobs bucketed per owner, each bucket in
+        # (submit_time, id) order, so a fair-share negotiation cycle can
+        # assemble its match order from O(owners) sorted groups instead
+        # of re-sorting the whole idle queue.  Buckets share the global
+        # index's laziness: an eviction only dirties its own owner.
+        self._idle_by_owner: dict[str, dict[int, CondorJob]] = {}
+        self._dirty_owners: set[str] = set()
 
     def submit(self, job_kwargs: dict, ctx: SimContext) -> CondorJob:
         job = CondorJob(id=self._next_id, submit_time=ctx.now, **job_kwargs)
@@ -208,16 +216,31 @@ class Schedd:
         self._next_id += 1
         self.jobs[job.id] = job
         self._idle[job.id] = job
+        bucket = self._idle_by_owner.get(job.owner)
+        if bucket is None:
+            bucket = self._idle_by_owner[job.owner] = {}
+        bucket[job.id] = job
         return job
 
     def _job_requeued(self, job: CondorJob) -> None:
         """An eviction put ``job`` back to IDLE (possibly out of order)."""
         self._idle[job.id] = job
         self._idle_dirty = True
+        bucket = self._idle_by_owner.get(job.owner)
+        if bucket is None:
+            bucket = self._idle_by_owner[job.owner] = {}
+        bucket[job.id] = job
+        self._dirty_owners.add(job.owner)
 
     def _job_left_queue(self, job: CondorJob) -> None:
         """``job`` stopped being IDLE (claimed or removed)."""
         self._idle.pop(job.id, None)
+        bucket = self._idle_by_owner.get(job.owner)
+        if bucket is not None:
+            bucket.pop(job.id, None)
+            if not bucket:
+                del self._idle_by_owner[job.owner]
+                self._dirty_owners.discard(job.owner)
 
     def has_idle(self) -> bool:
         return bool(self._idle)
@@ -230,6 +253,24 @@ class Schedd:
             self._idle = {j.id: j for j in ordered}
             self._idle_dirty = False
         return list(self._idle.values())
+
+    def idle_owners(self) -> list[str]:
+        """Owners with at least one idle job (order is not significant)."""
+        return list(self._idle_by_owner)
+
+    def idle_jobs_of(self, owner: str) -> list[CondorJob]:
+        """One owner's idle jobs in (submit_time, id) order."""
+        bucket = self._idle_by_owner.get(owner)
+        if not bucket:
+            return []
+        if owner in self._dirty_owners:
+            ordered = sorted(
+                bucket.values(), key=lambda j: (j.submit_time, j.id)
+            )
+            self._idle_by_owner[owner] = {j.id: j for j in ordered}
+            self._dirty_owners.discard(owner)
+            return ordered
+        return list(bucket.values())
 
     def remove(self, job_id: int) -> None:
         job = self.jobs.get(job_id)
@@ -430,16 +471,39 @@ class CondorPool:
                 yield self._kick
         self._kick = None
 
+    def _match_order(self):
+        """Idle jobs in fair-share order, lazily, from per-owner buckets.
+
+        Equivalent to a stable sort of the (submit_time, id)-ordered
+        idle queue on accumulated usage: owners are grouped by usage,
+        groups ascend by usage, and the owners *within* a group — whose
+        jobs a stable sort would interleave in submission order — are
+        k-way merged on (submit_time, id).  Costs O(owners log owners)
+        plus the jobs actually consumed, instead of re-sorting every
+        idle job each cycle; an early break on slot exhaustion never
+        materializes the untouched groups at all.
+        """
+        usage = self.usage_by_owner
+        schedd = self.schedd
+        groups: dict[float, list[str]] = {}
+        for owner in schedd.idle_owners():
+            groups.setdefault(usage.get(owner, 0.0), []).append(owner)
+        for used in sorted(groups):
+            owners = groups[used]
+            if len(owners) == 1:
+                # claim() mutates the bucket mid-iteration; idle_jobs_of
+                # returns a copy, so the walk is safe.
+                yield from schedd.idle_jobs_of(owners[0])
+            else:
+                yield from _heapq_merge(
+                    *(schedd.idle_jobs_of(o) for o in owners),
+                    key=lambda j: (j.submit_time, j.id),
+                )
+
     def _negotiation_cycle(self) -> None:
         if not self._free:
             return  # every slot is claimed; nothing can match
-        idle = self.schedd.idle_jobs()
-        if self.fair_share:
-            # idle is already in (submit_time, id) order, so a *stable*
-            # sort on usage alone yields the same order as sorting on
-            # (usage, submit_time, id) — at half the key-building cost.
-            usage = self.usage_by_owner
-            idle.sort(key=lambda j: usage.get(j.owner, 0.0))
+        idle = self._match_order() if self.fair_share else self.schedd.idle_jobs()
         for job in idle:
             if not self._free:
                 break  # the cycle itself consumed the last free slot

@@ -14,6 +14,7 @@ Public API::
     ctx.sim.run(until=p)   # -> "done", ctx.now == 5.0
 """
 
+from .calendar import CalendarQueue
 from .context import SimContext, TraceLog, TraceRecord
 from .errors import (
     EmptySchedule,
@@ -23,7 +24,7 @@ from .errors import (
     UntriggeredEvent,
 )
 from .events import LAZY, NORMAL, URGENT, AllOf, AnyOf, SimEvent, Timeout
-from .kernel import Simulator
+from .kernel import SCHEDULERS, Simulator, default_scheduler, set_default_scheduler
 from .process import Process
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import RandomStreams
@@ -31,6 +32,7 @@ from .rng import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Container",
     "EmptySchedule",
     "Interrupt",
@@ -41,6 +43,7 @@ __all__ = [
     "RandomStreams",
     "Request",
     "Resource",
+    "SCHEDULERS",
     "SimContext",
     "SimEvent",
     "SimulationError",
@@ -52,4 +55,6 @@ __all__ = [
     "TraceRecord",
     "URGENT",
     "UntriggeredEvent",
+    "default_scheduler",
+    "set_default_scheduler",
 ]

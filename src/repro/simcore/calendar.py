@@ -1,0 +1,591 @@
+"""A calendar-queue timer wheel: the kernel's O(1)-amortized scheduler.
+
+:class:`CalendarQueue` is the classic discrete-event alternative to a
+binary heap (R. Brown, "Calendar Queues: A Fast O(1) Priority Queue
+Implementation for the Simulation Event Set Problem", CACM 1988): timers
+are hashed into *buckets* by ``floor(time / width)`` and popped by
+walking the bucket ring in day order, so a pop costs O(1) amortized
+instead of the heap's O(log n) sift.  ``timeout_churn``-style workloads
+— provisioning delays, Condor negotiation cycles, GridFTP chunk
+completions — are dominated by exactly that sift cost.
+
+Determinism contract
+--------------------
+Entries are the kernel's ``(time, key, event)`` tuples, where ``key``
+packs ``(priority << 53) + insertion-id`` into one integer and is unique
+per entry.  The queue pops in strictly ascending ``(time, key)`` order —
+byte-identical to the binary heap — regardless of bucket geometry,
+resizes, or overflow migrations.  Tuple comparisons never reach the
+event object because keys are unique (the same guarantee the heap
+relies on).
+
+Design
+------
+* **Power-of-two bucket width.**  ``width`` is always ``2**k``, so
+  ``time * (1/width)`` is an exact float scaling (only the exponent
+  changes) and day numbers are exact integer truncations — no
+  accumulating rounding drift at bucket boundaries.
+* **Prepared run.**  Instead of popping one entry at a time out of the
+  ring, the queue *prepares* a short sorted run (the next ~128 due
+  entries, whole days at a time) into ``_run``, stored descending so the
+  minimum is ``_run[-1]`` and a pop is ``list.pop()``.  The kernel's
+  drain loop aliases ``_run`` directly; the list object is **never
+  rebound**, only mutated in place.
+* **Sorted segment tier for bulk loads.**  A per-entry Python placement
+  loop costs more than one C-speed ``list.sort`` over the whole batch,
+  so large ``extend`` batches (the kernel's pending flush) are sorted
+  once into ``_segment`` — a descending list of not-yet-due entries —
+  and refills slice whole-day chunks off its tail with a binary search.
+  The ring only carries entries from incremental ``push``es, which is
+  what it is good at.  This is the ladder-queue refinement of the
+  calendar queue (Tang & Goh, 2005): sort in bulk, bucket the trickle.
+* **Window invariant.**  Every bucketed entry satisfies
+  ``limit_tick <= day(entry) < limit_tick + nbuckets`` where
+  ``limit_tick`` is the first unprepared day.  Within such a window each
+  bucket holds at most one distinct day, so a refill takes whole buckets
+  in ring order and sorts once.  Late arrivals due *before* the window
+  (same-timestamp LAZY/URGENT triggers) are bisected into the prepared
+  run; arrivals *beyond* it go to the overflow list.
+* **Overflow far-future list.**  Pushed entries more than one ring
+  revolution ahead sit unsorted in ``_overflow`` (with the minimum time
+  tracked) until the window reaches them, then are *repatriated* into
+  the ring in one pass.
+* **Lazy resize on load-factor thresholds.**  When the bucketed (or
+  overflowed) population exceeds ``2 * nbuckets`` the ring grows 4x and
+  the width is retuned to the observed mean event spacing (rounded to a
+  power of two); when it falls below ``nbuckets / 8`` the ring shrinks.
+  Resizes rebuild the ring but never touch the prepared run or the
+  sorted segment, so they cannot reorder anything.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from math import floor, inf, isinf, log2
+
+__all__ = ["CalendarQueue"]
+
+#: ring-size bounds; both powers of two.  The floor keeps shrink cheap,
+#: the cap bounds rebuild cost for degenerate width estimates.
+MIN_BUCKETS = 8
+MAX_BUCKETS = 1 << 20
+
+#: bucket-width bounds as exponents of two (2**-30 s .. 2**30 s).
+MIN_WIDTH_EXP = -30
+MAX_WIDTH_EXP = 30
+
+#: how many due entries a refill tries to prepare at once.  Larger runs
+#: amortize the refill bookkeeping over more C-speed ``list.pop``s;
+#: smaller runs keep late same-window insertions cheap.
+RUN_TARGET = 128
+
+#: ``extend`` batches at least this large take the sort-into-segment
+#: path instead of the per-entry ring placement loop.
+BULK_MIN = 128
+
+#: times at or beyond 2**990 cannot anchor a window: ``time * inv_width``
+#: (inv_width up to 2**30) would overflow a float.  Treated like +inf.
+_TIME_CEILING = 2.0**990
+
+
+def _desc_key(entry):
+    """Sort key mapping descending (time, key) onto ascending order.
+
+    ``bisect.insort`` only understands ascending sequences; the prepared
+    run is stored descending so pops come off the tail.
+    """
+    return (-entry[0], -entry[1])
+
+
+def _time_key(entry):
+    return entry[0]
+
+
+class CalendarQueue:
+    """Bucketed timer wheel over ``(time, key, event)`` entries."""
+
+    __slots__ = (
+        "_run",
+        "_segment",
+        "_buckets",
+        "_overflow",
+        "_overflow_min",
+        "_nbuckets",
+        "_mask",
+        "_width",
+        "_inv_width",
+        "_limit_tick",
+        "_limit_time",
+        "_horizon_time",
+        "_bucket_count",
+    )
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        bucket_width: float = 1.0,
+        buckets: int = MIN_BUCKETS,
+    ) -> None:
+        if buckets < MIN_BUCKETS or buckets & (buckets - 1):
+            raise ValueError(f"buckets must be a power of two >= {MIN_BUCKETS}")
+        exp = log2(bucket_width) if bucket_width > 0 else None
+        if exp is None or exp != floor(exp) or not (
+            MIN_WIDTH_EXP <= exp <= MAX_WIDTH_EXP
+        ):
+            raise ValueError(
+                f"bucket_width must be a power of two in "
+                f"[2**{MIN_WIDTH_EXP}, 2**{MAX_WIDTH_EXP}], got {bucket_width}"
+            )
+        #: prepared due entries, descending (time, key); min is ``_run[-1]``.
+        #: NEVER rebound — the kernel drain loop holds a direct alias.
+        self._run: list = []
+        #: bulk-loaded entries, descending (time, key), all >= _limit_time.
+        #: May extend past the horizon; refills slice chunks off the tail.
+        self._segment: list = []
+        self._buckets: list[list] = [[] for _ in range(buckets)]
+        self._overflow: list = []
+        self._overflow_min = inf
+        self._nbuckets = buckets
+        self._mask = buckets - 1
+        self._width = bucket_width
+        self._inv_width = 1.0 / bucket_width
+        #: first day not yet prepared into the run
+        self._limit_tick = int(start_time * self._inv_width)
+        self._limit_time = self._limit_tick * bucket_width
+        self._horizon_time = (self._limit_tick + buckets) * bucket_width
+        #: entries currently held in the bucket ring (run/segment/overflow
+        #: excluded)
+        self._bucket_count = 0
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return (
+            len(self._run)
+            + len(self._segment)
+            + self._bucket_count
+            + len(self._overflow)
+        )
+
+    def __bool__(self) -> bool:
+        return bool(
+            self._run or self._segment or self._bucket_count or self._overflow
+        )
+
+    @property
+    def stats(self) -> dict:
+        """Geometry snapshot (tests and debugging; not a hot path)."""
+        return {
+            "buckets": self._nbuckets,
+            "bucket_width": self._width,
+            "bucketed": self._bucket_count,
+            "prepared": len(self._run),
+            "segment": len(self._segment),
+            "overflow": len(self._overflow),
+        }
+
+    # -- insertion ---------------------------------------------------------
+    def push(self, entry) -> None:
+        """Insert one ``(time, key, event)`` entry."""
+        t = entry[0]
+        if t >= self._horizon_time:
+            self._overflow.append(entry)
+            if t < self._overflow_min:
+                self._overflow_min = t
+            if (
+                len(self._overflow) > (self._nbuckets << 1)
+                and self._nbuckets < MAX_BUCKETS
+            ):
+                self._resize(grow=True)
+        elif t < self._limit_time:
+            # Due before the first unprepared day: the day was already
+            # swept into the run, so the entry must join it in order.
+            insort(self._run, entry, key=_desc_key)
+        else:
+            self._buckets[int(t * self._inv_width) & self._mask].append(entry)
+            self._bucket_count += 1
+            if (
+                self._bucket_count > (self._nbuckets << 1)
+                and self._nbuckets < MAX_BUCKETS
+            ):
+                self._resize(grow=True)
+
+    def extend(self, entries) -> None:
+        """Bulk ``push``; the kernel's pending-flush path.
+
+        Large batches are sorted once (C speed) and merged into the
+        segment tier — cheaper than any per-entry placement loop, and
+        the reason the wheel beats the heap on bulk timer churn.  Small
+        batches take the ring placement loop with the geometry cached in
+        locals; a resize invalidates the cache, so the loop restarts its
+        window from the current index.
+        """
+        n = len(entries)
+        if n == 1:
+            self.push(entries[0])
+            return
+        if n >= BULK_MIN and n >= (len(self._segment) >> 3):
+            self._extend_bulk(entries)
+            return
+        i = 0
+        overflow = self._overflow
+        run = self._run  # never rebound; safe to cache across resizes
+        while i < n:
+            buckets = self._buckets
+            mask = self._mask
+            inv = self._inv_width
+            limit_t = self._limit_time
+            horizon_t = self._horizon_time
+            count = self._bucket_count
+            ovf_min = self._overflow_min
+            cap = (
+                (self._nbuckets << 1)
+                if self._nbuckets < MAX_BUCKETS
+                else inf
+            )
+            resize = False
+            late = None
+            while i < n:
+                entry = entries[i]
+                t = entry[0]
+                i += 1
+                if limit_t <= t < horizon_t:
+                    buckets[int(t * inv) & mask].append(entry)
+                    count += 1
+                    if count > cap:
+                        resize = True
+                        break
+                elif t >= horizon_t:
+                    overflow.append(entry)
+                    if t < ovf_min:
+                        ovf_min = t
+                    if len(overflow) > cap:
+                        resize = True
+                        break
+                elif late is None:
+                    late = [entry]
+                else:
+                    late.append(entry)
+            self._bucket_count = count
+            self._overflow_min = ovf_min
+            if late is not None:
+                # One timsort merge beats per-entry insort when a flush
+                # carries several same-window late arrivals.
+                run.extend(late)
+                run.sort(reverse=True)
+            if resize:
+                self._resize(grow=True)
+                overflow = self._overflow
+
+    def _extend_bulk(self, entries) -> None:
+        """Sort a large batch once and merge it into the segment tier."""
+        batch = sorted(entries)  # ascending (time, key); keys are unique
+        limit_t = self._limit_time
+        run = self._run
+        if isinf(limit_t):
+            # Endgame (see _migrate): the run is the only tier left.
+            batch.reverse()
+            run.extend(batch)
+            run.sort(reverse=True)  # merges the two descending runs
+            return
+        i = 0
+        if batch[0][0] < limit_t:
+            # Late arrivals due before the window join the prepared run.
+            i = bisect_left(batch, limit_t, key=_time_key)
+            if i > 8 or len(run) <= 8:
+                run.extend(batch[i - 1 :: -1])
+                run.sort(reverse=True)
+            else:
+                for entry in batch[:i]:
+                    insort(run, entry, key=_desc_key)
+        rest = batch[i:]
+        rest.reverse()  # descending; tail is the earliest entry
+        segment = self._segment
+        if segment:
+            segment.extend(rest)
+            segment.sort(reverse=True)  # merges the two descending runs
+        else:
+            self._segment = rest
+
+    # -- removal -----------------------------------------------------------
+    def pop(self):
+        """Remove and return the minimum ``(time, key, event)`` entry."""
+        run = self._run
+        if not run and not self._refill():
+            raise IndexError("pop from an empty CalendarQueue")
+        return run.pop()
+
+    def peek(self):
+        """The minimum entry without removing it, or ``None`` if empty."""
+        run = self._run
+        if not run and not self._refill():
+            return None
+        return run[-1]
+
+    def _refill(self) -> bool:
+        """Prepare the next sorted run of due entries.
+
+        Only called when ``_run`` is empty (so extending it in place
+        keeps descending order).  Returns False when the queue is empty.
+        """
+        run = self._run
+        if self._overflow and self._overflow_min < self._horizon_time:
+            # The window has caught up with formerly far-future entries;
+            # fold them back into the ring before choosing a cut.
+            self._repatriate()
+        segment = self._segment
+        count = self._bucket_count
+        if count == 0 and (
+            not segment or segment[-1][0] >= self._horizon_time
+        ):
+            if not segment and not self._overflow:
+                return bool(run)
+            self._migrate()
+            segment = self._segment
+            count = self._bucket_count
+            if count == 0 and not segment:
+                # endgame: _migrate dumped the remaining tail into the run
+                return bool(run)
+        if (
+            0 < count < (self._nbuckets >> 3)
+            and self._nbuckets > MIN_BUCKETS
+        ):
+            self._resize(grow=False)
+            if self._bucket_count != count:
+                # the shrink pushed ring entries past the new horizon;
+                # restart so the window/overflow checks see fresh state
+                return self._refill()
+            count = self._bucket_count
+        width = self._width
+        nbuckets = self._nbuckets
+        tick = self._limit_tick
+        if count:
+            buckets = self._buckets
+            mask = self._mask
+            collected = 0
+            scanned = 0
+            # The window invariant guarantees a non-empty bucket within
+            # one revolution while _bucket_count > 0.
+            while collected < RUN_TARGET and scanned < nbuckets:
+                bucket = buckets[tick & mask]
+                if bucket:
+                    run.extend(bucket)
+                    collected += len(bucket)
+                    bucket.clear()
+                tick += 1
+                scanned += 1
+            self._bucket_count = count - collected
+            if segment and segment[-1][0] < tick * width:
+                m = self._seg_cut(tick * width)
+                run.extend(segment[m:])
+                del segment[m:]
+            run.sort(reverse=True)
+        else:
+            # Pure segment refill: slice a whole-day chunk off the tail.
+            # The chunk is already descending and the run is empty, so
+            # no sort is needed at all.
+            j = len(segment) - RUN_TARGET
+            t_j = segment[0 if j < 0 else j][0]
+            cut = int(t_j * self._inv_width) + 1
+            horizon_tick = tick + nbuckets
+            if cut > horizon_tick:
+                cut = horizon_tick
+            m = self._seg_cut(cut * width)
+            if run:
+                # a shrink-resize just prepared late entries early; the
+                # merge restores descending order
+                run.extend(segment[m:])
+                run.sort(reverse=True)
+            else:
+                run.extend(segment[m:])
+            del segment[m:]
+            tick = cut
+        self._limit_tick = tick
+        self._limit_time = tick * width
+        self._horizon_time = (tick + nbuckets) * width
+        return True
+
+    def _seg_cut(self, cut_time: float) -> int:
+        """First index of the segment whose time is below ``cut_time``.
+
+        The segment is descending, so ``segment[m:]`` is exactly the
+        sub-run due before ``cut_time``.
+        """
+        segment = self._segment
+        lo, hi = 0, len(segment)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if segment[mid][0] < cut_time:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # -- reorganisation ----------------------------------------------------
+    def _repatriate(self) -> None:
+        """Fold overflow entries the window has reached back into the ring."""
+        buckets = self._buckets
+        mask = self._mask
+        inv = self._inv_width
+        limit_t = self._limit_time
+        horizon_t = self._horizon_time
+        run = self._run
+        keep = []
+        new_min = inf
+        count = self._bucket_count
+        for entry in self._overflow:
+            t = entry[0]
+            if t >= horizon_t:
+                keep.append(entry)
+                if t < new_min:
+                    new_min = t
+            elif t >= limit_t:
+                buckets[int(t * inv) & mask].append(entry)
+                count += 1
+            else:
+                insort(run, entry, key=_desc_key)
+        self._bucket_count = count
+        self._overflow = keep
+        self._overflow_min = new_min
+        if count > (self._nbuckets << 1) and self._nbuckets < MAX_BUCKETS:
+            self._resize(grow=True)
+
+    def _migrate(self) -> None:
+        """Advance the window to the earliest far-future day.
+
+        Runs only when the ring and the prepared run are both empty and
+        the segment holds nothing before the horizon, so jumping
+        ``limit_tick`` forward cannot skip a due entry.  The anchor is
+        the minimum over the overflow and the segment tail.
+        """
+        segment = self._segment
+        best = self._overflow_min
+        if segment and segment[-1][0] < best:
+            best = segment[-1][0]
+        if best >= _TIME_CEILING:
+            # No representable day can anchor the window (t=inf, or the
+            # tick computation would overflow a float).  Endgame mode:
+            # the remaining entries become the run and the window moves
+            # to infinity, so any later push bisects into the run and
+            # ordering still holds — O(run) inserts, but this tail is
+            # astronomically far from any simulated workload.
+            tail = self._overflow
+            tail.extend(segment)
+            tail.sort(reverse=True)
+            self._run.extend(tail)
+            self._overflow = []
+            self._overflow_min = inf
+            segment.clear()
+            self._limit_time = inf
+            self._horizon_time = inf
+            return
+        self._limit_tick = int(best * self._inv_width)
+        self._limit_time = self._limit_tick * self._width
+        self._horizon_time = (self._limit_tick + self._nbuckets) * self._width
+        if self._overflow and self._overflow_min < self._horizon_time:
+            self._repatriate()
+
+    def _resize(self, grow: bool) -> None:
+        """Rebuild the ring at a new size/width (load-factor thresholds).
+
+        Collects ring + overflow, retunes the bucket width to the
+        observed mean spacing (rounded down to a power of two), and
+        re-places everything.  The prepared run and the segment are
+        untouched, so resizes can never reorder pops.
+        """
+        if isinf(self._limit_time):
+            return  # endgame mode (see _migrate): no finite window to rebuild
+        entries = self._overflow
+        for bucket in self._buckets:
+            if bucket:
+                entries.extend(bucket)
+        if grow:
+            nbuckets = min(self._nbuckets << 2, MAX_BUCKETS)
+        else:
+            nbuckets = max(self._nbuckets >> 2, MIN_BUCKETS)
+        width = self._tuned_width(entries)
+        inv = 1.0 / width
+        self._width = width
+        self._inv_width = inv
+        self._nbuckets = nbuckets
+        mask = nbuckets - 1
+        self._mask = mask
+        # Re-anchor the consumed-day boundary at the same *time*, rounding
+        # UP to the new day grid.  Rounding down would re-open days the
+        # prepared run may already cover — a later push could then land in
+        # the ring at a time before an entry already prepared, popping out
+        # of order.  Rounding up instead *prepares early*: collected or
+        # segment entries now below the boundary join the run, which is
+        # always order-safe.
+        limit_tick = int(self._limit_time * inv)
+        if limit_tick * width < self._limit_time:
+            limit_tick += 1
+        self._limit_tick = limit_tick
+        limit_t = limit_tick * width
+        self._limit_time = limit_t
+        horizon_t = (limit_tick + nbuckets) * width
+        self._horizon_time = horizon_t
+        buckets = [[] for _ in range(nbuckets)]
+        self._buckets = buckets
+        run = self._run
+        overflow = []
+        late = None
+        new_min = inf
+        count = 0
+        for entry in entries:
+            t = entry[0]
+            if t >= horizon_t:
+                overflow.append(entry)
+                if t < new_min:
+                    new_min = t
+            elif t >= limit_t:
+                buckets[int(t * inv) & mask].append(entry)
+                count += 1
+            elif late is None:
+                late = [entry]
+            else:
+                late.append(entry)
+        self._overflow = overflow
+        self._overflow_min = new_min
+        self._bucket_count = count
+        segment = self._segment
+        if segment and segment[-1][0] < limit_t:
+            m = self._seg_cut(limit_t)
+            if late is None:
+                late = segment[m:]
+            else:
+                late.extend(segment[m:])
+            del segment[m:]
+        if late is not None:
+            run.extend(late)
+            run.sort(reverse=True)
+
+    def _tuned_width(self, entries) -> float:
+        """A power-of-two width targeting ~one entry per occupied day.
+
+        The spacing estimate samples at most ~1k entries and drops the
+        farthest eighth: a handful of far-future outliers (retry
+        backstops, idle heartbeats) would otherwise blow the span — and
+        the width — up by orders of magnitude, collapsing the near-term
+        mass into a single bucket.
+        """
+        n = len(entries)
+        if n < 2:
+            return self._width
+        stride = 1 + (n >> 10)
+        times = sorted(
+            t for t in (e[0] for e in entries[::stride]) if not isinf(t)
+        )
+        if len(times) < 2:
+            return self._width
+        bulk = len(times) - (len(times) >> 3)
+        lo, hi = times[0], times[bulk - 1]
+        if hi <= lo:
+            hi = times[-1]  # the bulk is one cluster; fall back to full span
+            if hi <= lo:
+                return self._width
+        exp = floor(log2((hi - lo) / (bulk * stride)))
+        if exp < MIN_WIDTH_EXP:
+            exp = MIN_WIDTH_EXP
+        elif exp > MAX_WIDTH_EXP:
+            exp = MAX_WIDTH_EXP
+        return 2.0**exp

@@ -55,9 +55,14 @@ class TraceLog:
 class SimContext:
     """Kernel + RNG + trace, the spine threaded through every subsystem."""
 
-    def __init__(self, seed: int = 0, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_time: float = 0.0,
+        scheduler: str | None = None,
+    ) -> None:
         self.seed = seed
-        self.sim = Simulator(initial_time=initial_time)
+        self.sim = Simulator(initial_time=initial_time, scheduler=scheduler)
         self.rng = RandomStreams(seed)
         self.trace = TraceLog()
 

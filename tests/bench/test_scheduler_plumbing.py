@@ -1,0 +1,77 @@
+"""The ``--scheduler`` knob, end to end through harness, pool, and CLI.
+
+The contract: picking a scheduler changes *how fast* the kernel runs,
+never *what it computes* — so the sim JSON must be byte-identical across
+schedulers at any worker count, the chosen scheduler must be reported in
+the full result document, and it must be deliberately absent from the
+sim document (the determinism pin cannot depend on it).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import suites
+from repro.bench.cli import main as cli_main
+from repro.bench.harness import run_suite
+from repro.simcore import default_scheduler
+
+pytestmark = pytest.mark.bench
+
+
+def test_wheel_sim_json_identical_at_any_worker_count():
+    suite = suites.scale_suite(smoke=True)
+    heap_seq = run_suite(suite, workers=1, scheduler="heap")
+    reference = heap_seq.sim_json()
+    for workers in (1, 3):
+        wheel = run_suite(suite, workers=workers, scheduler="wheel")
+        assert wheel.ok
+        assert wheel.sim_json() == reference
+
+
+def test_to_dict_reports_scheduler_but_sim_dict_omits_it():
+    result = run_suite(suites.usecase_suite(smoke=True), scheduler="wheel")
+    assert result.scheduler == "wheel"
+    assert result.to_dict()["scheduler"] == "wheel"
+    assert "scheduler" not in result.sim_dict()
+    assert '"scheduler"' not in result.sim_json()
+
+
+def test_default_scheduler_is_recorded_when_unpinned():
+    result = run_suite(suites.usecase_suite(smoke=True))
+    assert result.scheduler == default_scheduler()
+
+
+def test_worker_subprocesses_honor_the_scheduler():
+    """The spec pipe must carry the scheduler to pool workers too."""
+    result = run_suite(suites.usecase_suite(smoke=True), workers=2, scheduler="wheel")
+    assert result.ok
+    assert result.scheduler == "wheel"
+
+
+def test_unknown_scheduler_is_rejected_up_front():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        run_suite(suites.usecase_suite(smoke=True), scheduler="fibheap")
+
+
+def test_cli_scheduler_flag_round_trip(tmp_path, capsys):
+    """``gp-bench --scheduler wheel`` writes the same sim JSON as heap."""
+    outputs = {}
+    for scheduler in ("heap", "wheel"):
+        out = tmp_path / f"{scheduler}.json"
+        rc = cli_main(
+            [
+                "usecase",
+                "--smoke",
+                "-q",
+                "--scheduler",
+                scheduler,
+                "--sim-json-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        outputs[scheduler] = out.read_text()
+        assert f"scheduler={scheduler}" in capsys.readouterr().out
+    assert outputs["heap"] == outputs["wheel"]
+    assert json.loads(outputs["wheel"])  # well-formed

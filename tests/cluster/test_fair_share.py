@@ -1,6 +1,8 @@
 """Condor user fair-share scheduling."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import CondorPool, JobState, MachineAd
 from repro.simcore import SimContext
@@ -53,3 +55,83 @@ def test_heavy_user_yields_to_new_user():
     # the newcomer did not wait for all of hog's queue
     still_idle = [j for j in heavy if j.state == JobState.IDLE]
     assert len(still_idle) >= 1
+
+
+# -- differential: per-owner buckets vs the re-sort they replaced --------------
+#
+# The negotiator's _match_order builds fair-share order from per-owner
+# idle buckets (O(owners log owners) per cycle).  Its specification is
+# the old implementation: a stable sort of the (submit_time, id)-ordered
+# idle queue on accumulated usage.  These tests keep both in lockstep.
+
+
+def fair_share_reference(pool):
+    """The O(jobs log jobs) specification of fair-share match order."""
+    usage = pool.usage_by_owner
+    return sorted(
+        pool.schedd.idle_jobs(), key=lambda j: usage.get(j.owner, 0.0)
+    )
+
+
+def assert_matches_reference(pool):
+    got = [j.id for j in pool._match_order()]
+    want = [j.id for j in fair_share_reference(pool)]
+    assert got == want
+
+
+def test_match_order_matches_stable_usage_sort_reference():
+    ctx, pool = make_pool()
+    pool.add_machine(MachineAd(name="m2", cores=2, memory_gb=8.0, cpu_factor=1.0))
+    for i, owner in enumerate("abacbaccb"):
+        pool.submit(cpu_work=5.0 + i, owner=owner)
+    assert_matches_reference(pool)  # nobody has usage yet
+    for until in (7.0, 13.0, 22.0):  # usage diverges as jobs complete
+        ctx.sim.run(until=until)
+        assert_matches_reference(pool)
+
+
+def test_equal_usage_owners_merge_by_submission_order():
+    """Owners in one usage group interleave exactly as a stable sort would."""
+    ctx, pool = make_pool()
+    jobs = [
+        pool.submit(cpu_work=1.0, owner=o)
+        for o in ("u1", "u2", "u3", "u1", "u2", "u3", "u2", "u1")
+    ]
+    assert [j.id for j in pool._match_order()] == [j.id for j in jobs]
+
+
+def test_match_order_consistent_after_eviction_requeue():
+    """``drain=False`` eviction requeues through the dirty-owner path."""
+    ctx, pool = make_pool()
+    jobs = [
+        pool.submit(cpu_work=20.0, owner=o)
+        for o in ("alice", "bob", "alice", "bob")
+    ]
+    ctx.sim.run(until=3.0)  # alice's first job is mid-run on "m"
+    running = [j for j in jobs if j.state == JobState.RUNNING]
+    assert running
+    pool.remove_machine("m", drain=False)  # evict: back to idle, dirty owner
+    ctx.sim.run(until=ctx.sim.timeout(0.0))  # deliver the eviction interrupt
+    assert all(j.state == JobState.IDLE for j in jobs)
+    assert_matches_reference(pool)
+    pool.add_machine(MachineAd(name="m2", cores=1, memory_gb=8.0, cpu_factor=1.0))
+    ctx.sim.run(until=ctx.sim.all_of([pool.when_done(j) for j in jobs]))
+    assert all(j.state == JobState.COMPLETED for j in jobs)
+    assert not pool.schedd.idle_owners()
+
+
+@given(
+    pattern=st.lists(st.sampled_from("abcd"), min_size=1, max_size=20),
+    checkpoints=st.lists(
+        st.floats(min_value=1.0, max_value=40.0), max_size=3
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_match_order_tracks_reference_through_time(pattern, checkpoints):
+    ctx, pool = make_pool()
+    for i, owner in enumerate(pattern):
+        pool.submit(cpu_work=2.0 + (i % 5), owner=owner)
+    assert_matches_reference(pool)
+    for until in sorted(checkpoints):
+        ctx.sim.run(until=until)
+        assert_matches_reference(pool)

@@ -1,0 +1,147 @@
+"""Property tests: CalendarQueue vs a sorted-list reference model.
+
+The queue's contract is exactly "pop in ascending (time, key) order, no
+matter the bucket geometry"; every test here drives the real structure
+and an obviously-correct sorted list through the same operations and
+compares.  Times are chosen to force the interesting geometry: dense
+same-timestamp clusters, bucket-resize thresholds, far-future overflow,
+and the endgame (+inf) tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Simulator, set_default_scheduler
+from repro.simcore.calendar import MIN_BUCKETS, CalendarQueue
+
+# Mixed scales shake out width retuning; the huge/inf samples exercise
+# overflow migration and endgame mode.
+TIMES = st.one_of(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0, 1e9, 2.0**40, float("inf")]),
+)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), TIMES),
+        st.tuples(st.just("extend"), st.lists(TIMES, max_size=300)),
+        st.tuples(st.just("pop"), st.just(None)),
+        st.tuples(st.just("peek"), st.just(None)),
+    ),
+    max_size=60,
+)
+
+
+def drain(q: CalendarQueue) -> list:
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+@given(ops=OPS)
+@settings(max_examples=120, deadline=None)
+def test_interleaved_ops_match_reference(ops):
+    q = CalendarQueue()
+    ref: list = []
+    key = 0
+    for op, arg in ops:
+        if op == "push":
+            entry = (arg, key, None)
+            key += 1
+            q.push(entry)
+            ref.append(entry)
+        elif op == "extend":
+            batch = []
+            for t in arg:
+                batch.append((t, key, None))
+                key += 1
+            q.extend(batch)
+            ref.extend(batch)
+        elif op == "pop":
+            if ref:
+                ref.sort()
+                assert q.pop() == ref.pop(0)
+            else:
+                with pytest.raises(IndexError):
+                    q.pop()
+        else:  # peek
+            assert q.peek() == (min(ref) if ref else None)
+        assert len(q) == len(ref)
+    ref.sort()
+    assert drain(q) == ref
+
+
+@given(perm=st.permutations(range(40)))
+@settings(max_examples=60, deadline=None)
+def test_same_timestamp_orders_by_key(perm):
+    """Equal times pop in key order — the (priority, insertion-id) pack."""
+    q = CalendarQueue()
+    for k in perm:
+        q.push((5.0, k, None))
+    assert [e[1] for e in drain(q)] == sorted(perm)
+
+
+@given(
+    n=st.integers(min_value=MIN_BUCKETS * 5, max_value=400),
+    span=st.sampled_from([0.001, 1.0, 1000.0, 1e7]),
+)
+@settings(max_examples=40, deadline=None)
+def test_resize_boundaries_preserve_order(n, span):
+    """Crossing the grow threshold (and shrinking on drain) never reorders."""
+    q = CalendarQueue()
+    entries = [((i * 0.6180339887) % 1.0 * span, i, None) for i in range(n)]
+    for e in entries:  # push one at a time so load-factor grows trigger
+        q.push(e)
+    # at n >= 5 * MIN_BUCKETS either the ring or the overflow list crossed
+    # its 2 * nbuckets load factor, whatever the span split them into
+    assert q.stats["buckets"] > MIN_BUCKETS
+    assert drain(q) == sorted(entries)
+
+
+def test_cancelled_timer_defuses_without_firing_either_scheduler():
+    """The kernel's cancel idiom (defuse a failed event) drains cleanly."""
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        ok = sim.timeout(1.0)
+        ok.callbacks.append(lambda ev: fired.append("ok"))
+        doomed = sim.event()
+        doomed.fail(RuntimeError("cancelled"))
+        doomed.defused = True  # nobody will wait on it: swallow the failure
+        sim.run()
+        assert fired == ["ok"]
+
+
+def test_negative_delay_rejected_under_both_schedulers():
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        with pytest.raises(ValueError):
+            sim.timeout(-0.001)
+        sim.run()
+        assert sim.events_processed == 0
+
+
+def test_invalid_scheduler_names_rejected():
+    with pytest.raises(ValueError):
+        Simulator(scheduler="fibheap")
+    previous = set_default_scheduler("wheel")
+    try:
+        with pytest.raises(ValueError):
+            set_default_scheduler("fibheap")
+        assert Simulator().scheduler == "wheel"  # failed set left it alone
+    finally:
+        set_default_scheduler(previous)
+
+
+def test_constructor_validates_geometry():
+    with pytest.raises(ValueError):
+        CalendarQueue(buckets=12)  # not a power of two
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width=0.3)  # not a power of two
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width=0.0)

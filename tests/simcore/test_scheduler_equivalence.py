@@ -1,0 +1,165 @@
+"""Differential scheduler-equivalence suite: heap vs calendar wheel.
+
+Every test runs the same program on a heap-backed and a wheel-backed
+:class:`Simulator` and asserts the observable outcomes are identical —
+callback order, the clock, ``events_processed``, the queue-depth
+counters, and (for the benchmark suites) the byte-exact sim JSON the
+perf pipeline pins.  This is the gate that lets ``scheduler="wheel"``
+exist at all: the wheel is only a scheduler if nothing downstream can
+tell it apart from the heap.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import suites
+from repro.bench.harness import run_suite
+from repro.simcore import LAZY, NORMAL, URGENT, SCHEDULERS, Simulator
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+# -- queue-depth accounting ----------------------------------------------------
+
+
+def _depth_observations(scheduler: str) -> tuple:
+    """Depths across the staged → flushed → drained lifecycle.
+
+    Regression for the counter fix: zero-delay FIFO events, unflushed
+    staged timers, and (under the wheel) far-future overflow entries all
+    have to be counted, so both schedulers see the same numbers at every
+    point — including after ``peek`` forces the staged flush, which under
+    the wheel pushes the 1e9 timer into the overflow list.
+    """
+    sim = Simulator(scheduler=scheduler)
+    for _ in range(3):
+        sim.timeout(0.0)  # zero-delay FIFO (immediate deque)
+    for i in range(4):
+        sim.timeout(1.0 + i)  # staged timers, not yet flushed
+    sim.timeout(1e9)  # far beyond the wheel's initial horizon
+    staged = sim.queue_depth
+    next_t = sim.peek()  # forces the flush into the active store
+    flushed = sim.queue_depth
+    sim.run()
+    return staged, next_t, flushed, sim.events_processed, sim.queue_depth
+
+
+def test_queue_depth_counts_staged_and_overflow_identically():
+    heap = _depth_observations("heap")
+    wheel = _depth_observations("wheel")
+    assert heap == wheel
+    assert heap == (8, 0.0, 8, 8, 0)
+
+
+def test_peak_queue_depth_matches_across_schedulers():
+    peaks = []
+    for scheduler in SCHEDULERS:
+        sim = Simulator(scheduler=scheduler)
+        for i in range(50):
+            sim.timeout((i * 7919) % 100 * 0.5)
+        sim.timeout(1e12)  # overflow entry must stay in the depth samples
+        sim.run()
+        peaks.append((sim.peak_queue_depth, sim.events_processed))
+    assert peaks[0] == peaks[1]
+    assert peaks[0][1] == 51
+
+
+# -- fuzzed program equivalence ------------------------------------------------
+
+# Delays mix exact-duplicate timestamps (same-bucket / same-heap-key
+# collisions), sub-bucket fractions, and a far-future outlier that lands
+# in the wheel's overflow list.
+DELAYS = st.sampled_from([0.0, 0.0, 0.25, 1.0, 1.0, 3.0, 17.0, 1e6])
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("timer"), DELAYS, st.sampled_from([URGENT, NORMAL, LAZY])
+        ),
+        st.tuples(st.just("burst"), st.integers(2, 6), DELAYS),
+        st.tuples(st.just("cancel")),
+        st.tuples(st.just("wait"), DELAYS),
+    ),
+    max_size=40,
+)
+
+
+def _run_program(scheduler: str, ops) -> tuple:
+    """Execute an op list under ``scheduler`` and return its full trace."""
+    sim = Simulator(scheduler=scheduler)
+    trace: list = []
+
+    def driver():
+        for i, op in enumerate(ops):
+            kind = op[0]
+            if kind == "timer":
+                _, delay, prio = op
+                ev = sim.event()
+                ev.callbacks.append(
+                    lambda _e, i=i: trace.append((sim.now, "timer", i))
+                )
+                sim._schedule(ev, delay, prio)
+            elif kind == "burst":
+                _, width, delay = op
+                for j in range(width):
+                    t = sim.timeout(delay)
+                    t.callbacks.append(
+                        lambda _e, i=i, j=j: trace.append((sim.now, "burst", i, j))
+                    )
+            elif kind == "cancel":
+                ev = sim.event()
+                ev.fail(RuntimeError("cancelled"))
+                ev.defused = True  # the cancel idiom: fail, nobody waits
+            else:  # wait: advances the clock mid-schedule
+                yield sim.timeout(op[1])
+                trace.append((sim.now, "resumed", i))
+
+    sim.process(driver())
+    sim.run()
+    return trace, sim.now, sim.events_processed, sim.peak_queue_depth
+
+
+@given(ops=OPS)
+@settings(max_examples=60, deadline=None)
+def test_fuzzed_programs_trace_identically(ops):
+    assert _run_program("heap", ops) == _run_program("wheel", ops)
+
+
+# -- benchmark suites: byte-identical sim JSON ---------------------------------
+
+
+@pytest.mark.parametrize("name", suites.names())
+def test_smoke_suite_sim_json_identical(name):
+    """Every suite's smoke shape produces the same sim JSON either way."""
+    heap = run_suite(suites.get(name, smoke=True), scheduler="heap")
+    wheel = run_suite(suites.get(name, smoke=True), scheduler="wheel")
+    assert heap.ok and wheel.ok
+    assert heap.sim_json() == wheel.sim_json()
+    assert wheel.scheduler == "wheel"
+
+
+# -- scheduler selection knobs -------------------------------------------------
+
+
+def test_env_var_selects_process_default():
+    env = dict(os.environ, REPRO_SIM_SCHEDULER="wheel", PYTHONPATH=str(SRC))
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.simcore import Simulator; print(Simulator().scheduler)",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert out.stdout.strip() == "wheel"

@@ -66,6 +66,14 @@ def test_bench_job_runs_smoke_harness_and_determinism(workflow):
     assert any("test_determinism" in c for c in commands)
 
 
+def test_bench_job_diffs_sim_json_across_schedulers(workflow):
+    """The smoke sweep must run under both schedulers and byte-compare."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    wheel = [c for c in commands if "--scheduler wheel" in c]
+    assert wheel, "bench-smoke must rerun the sweep under the calendar wheel"
+    assert any("cmp" in c and "wheel" in c for c in wheel)
+
+
 def test_bench_job_uploads_suite_artifact(workflow):
     uploads = [
         s for s in _steps(workflow, "bench-smoke")
