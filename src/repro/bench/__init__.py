@@ -10,7 +10,7 @@ harness columns), ``trajectory`` (the per-commit perf series), and
 ``cli`` (``gp-bench`` / ``python -m repro.bench``).
 """
 
-from . import ablations, figure10, figure11, scale, usecase  # noqa: I001
+from . import ablations, figure10, figure11, pricing_sweep, scale, usecase  # noqa: I001
 from . import harness, suites, trajectory
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "figure10",
     "figure11",
     "harness",
+    "pricing_sweep",
     "scale",
     "suites",
     "trajectory",

@@ -43,7 +43,9 @@ from ..simcore import SCHEDULERS, default_scheduler, set_default_scheduler
 
 #: metric keys that legitimately vary between hosts/runs; everything else
 #: in a payload must be byte-identical for a given spec.
-HOST_DEPENDENT_KEYS = frozenset({"wall_seconds", "events_per_sec"})
+HOST_DEPENDENT_KEYS = frozenset(
+    {"wall_seconds", "events_per_sec", "jobs_per_sec", "speedup_vs_scalar"}
+)
 
 #: registry of task callables the specs reference by name (see
 #: :func:`task`); populated by ``repro.bench.suites`` on import.

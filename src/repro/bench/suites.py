@@ -18,7 +18,7 @@ import time as _time
 from dataclasses import asdict, replace
 
 from .. import calibration
-from . import ablations, figure10, figure11, scale, usecase
+from . import ablations, figure10, figure11, pricing_sweep, scale, usecase
 from .harness import BenchSpec, BenchSuite, task
 
 # ---------------------------------------------------------------------------
@@ -55,6 +55,13 @@ def usecase_expansion(seed: int = 0) -> dict:
 @task("scale.run")
 def scale_run(**config_kwargs) -> dict:
     result = scale.run(scale.ScaleConfig(**config_kwargs))
+    result.check_shape()
+    return result.to_dict()
+
+
+@task("pricing.sweep")
+def pricing_sweep_run(**config_kwargs) -> dict:
+    result = pricing_sweep.run(pricing_sweep.PricingSweepConfig(**config_kwargs))
     result.check_shape()
     return result.to_dict()
 
@@ -161,6 +168,19 @@ SCALE_SMOKE_GRID = (
     replace(scale.SMOKE_CONFIG, workers=8, transfers=10, jobs=40),
 )
 
+#: the full pricing sweep: thousands of archives, two seeds, a wide-range
+#: column (estimator only — no event loop, so even 10k jobs are cheap)
+PRICING_FULL_GRID = (
+    pricing_sweep.FULL_CONFIG,
+    replace(pricing_sweep.FULL_CONFIG, n_jobs=10000),
+    replace(pricing_sweep.FULL_CONFIG, n_jobs=10000, seed=1, max_mb=2048.0),
+)
+
+PRICING_SMOKE_GRID = (
+    pricing_sweep.SMOKE_CONFIG,
+    replace(pricing_sweep.SMOKE_CONFIG, n_jobs=150, seed=1),
+)
+
 
 def _scale_spec(config: scale.ScaleConfig) -> BenchSpec:
     name = (
@@ -212,6 +232,23 @@ def scale_suite(smoke: bool = False) -> BenchSuite:
     )
 
 
+def _pricing_spec(config: pricing_sweep.PricingSweepConfig) -> BenchSpec:
+    name = (
+        f"pricing/n{config.n_jobs}-mb{config.min_mb:g}-{config.max_mb:g}"
+        f"-s{config.seed}"
+    )
+    return BenchSpec(name=name, task="pricing.sweep", params=asdict(config))
+
+
+def pricing_sweep_suite(smoke: bool = False) -> BenchSuite:
+    grid = PRICING_SMOKE_GRID if smoke else PRICING_FULL_GRID
+    return BenchSuite(
+        "pricing_sweep",
+        "Vectorized batch pricing across the Fig. 10 instance grid",
+        tuple(_pricing_spec(cfg) for cfg in grid),
+    )
+
+
 def ablations_suite(smoke: bool = False) -> BenchSuite:
     specs = (
         BenchSpec(name="ablations/ami", task="ablations.ami"),
@@ -240,6 +277,7 @@ SUITE_BUILDERS = {
     "fig11": fig11_suite,
     "usecase": usecase_suite,
     "scale": scale_suite,
+    "pricing_sweep": pricing_sweep_suite,
     "ablations": ablations_suite,
 }
 

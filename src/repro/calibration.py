@@ -56,6 +56,33 @@ USECASE_STEPS34_CPU_WORK = 492.0
 #: 492 small-seconds over 10.7 MB + 190.3 MB = 201 MB of input.
 AFFY_CPU_SECONDS_PER_MB = USECASE_STEPS34_CPU_WORK / 201.0
 
+# ---------------------------------------------------------------------------
+# CRData work-model coefficients (m1.small-seconds)
+#
+# The scalar per-job models and their vectorized batch variants in
+# ``repro.crdata.catalog`` — and the closed-form estimator in
+# ``repro.cloud.estimator`` — all read these, so the three code paths
+# cannot drift apart.  ``*_CPU_BASE_S`` is the fixed R-session cost,
+# ``*_CPU_S_PER_MB`` scales with total input volume, ``*_IO_S`` is the
+# (size-independent) staging I/O cost.
+# ---------------------------------------------------------------------------
+
+#: Constant per-job CPU cost of the heavy CEL tools on top of the per-MB
+#: term (R startup + library load).
+AFFY_FIXED_CPU_S = 4.0
+
+MATRIX_CPU_BASE_S = 3.0
+MATRIX_CPU_S_PER_MB = 0.4
+MATRIX_IO_S = 0.2
+
+SEQ_CPU_BASE_S = 6.0
+SEQ_CPU_S_PER_MB = 1.2
+SEQ_IO_S = 0.5
+
+PLOT_CPU_BASE_S = 2.0
+PLOT_CPU_S_PER_MB = 0.15
+PLOT_IO_S = 0.1
+
 # Relative speed factors fit to the Fig. 10 anchors (m1.small == 1.0).
 CPU_FACTORS = {
     "t1.micro": 0.45,

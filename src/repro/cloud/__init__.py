@@ -13,6 +13,13 @@ from .ec2 import (
     KeyPair,
     MockEC2,
 )
+from .estimator import (
+    DEFAULT_INSTANCE_TYPES,
+    CostEstimate,
+    estimate_batch,
+    estimate_scalar_loop,
+    estimate_usecase_steps34,
+)
 from .instance_types import ALIASES, CATALOG, InstanceType, resolve
 from .network import (
     NetworkPath,
@@ -34,6 +41,8 @@ __all__ = [
     "AMI",
     "BillingMeter",
     "CATALOG",
+    "CostEstimate",
+    "DEFAULT_INSTANCE_TYPES",
     "EC2Error",
     "EC2Instance",
     "InstanceState",
@@ -47,6 +56,9 @@ __all__ = [
     "TransferTooLarge",
     "UsageInterval",
     "aggregate_rate_bps",
+    "estimate_batch",
+    "estimate_scalar_loop",
+    "estimate_usecase_steps34",
     "ftp_model",
     "globus_model",
     "globus_streams_for",

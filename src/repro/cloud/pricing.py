@@ -93,9 +93,12 @@ class BillingMeter:
         """Total USD cost of recorded usage.
 
         ``mode`` is ``proportional`` (per-second) or ``hourly`` (each
-        interval rounded up to whole instance-hours, as EC2 billed in 2012).
+        interval rounded up to whole instance-hours, as EC2 billed in
+        2012 — so any started interval, even one launched and terminated
+        at the same sim timestamp, bills a full hour).
         ``instance_ids`` restricts to a subset; ``window`` clips intervals
         to ``(t0, t1)`` — used to price only the span of one experiment.
+        Intervals with no usage inside the window cost $0 in both modes.
         """
         if mode not in ("proportional", "hourly"):
             raise ValueError(f"unknown billing mode {mode!r}")
@@ -104,17 +107,22 @@ class BillingMeter:
         for iv in self.intervals:
             if ids is not None and iv.instance_id not in ids:
                 continue
-            start, end = iv.start, iv.end if iv.end is not None else now
+            raw_start, raw_end = iv.start, iv.end if iv.end is not None else now
+            start, end = raw_start, raw_end
             if window is not None:
                 start, end = max(start, window[0]), min(end, window[1])
+                if start > end:
+                    continue  # interval entirely outside the window
             dur = max(0.0, end - start)
-            if dur == 0.0:
+            if dur == 0.0 and raw_end > raw_start:
+                # a positive-duration interval clipped down to the window
+                # boundary instant: no usage inside the window
                 continue
             rate = self.book.hourly(iv.instance_type)
             if mode == "proportional":
                 total += rate * dur / 3600.0
             else:
-                total += rate * math.ceil(dur / 3600.0)
+                total += rate * max(1.0, math.ceil(dur / 3600.0))
         return total
 
     def instance_hours(self, now: float) -> float:

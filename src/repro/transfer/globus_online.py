@@ -442,10 +442,16 @@ class GlobusOnline:
         try:
             for src_path, dst_path, size in files:
                 if spec.sync_level is not None and dst.exists(dst_path):
-                    matches = spec.sync_level == "exists" or (
-                        spec.sync_level == "checksum"
-                        and dst.stat(dst_path).checksum == src.stat(src_path).checksum
-                    )
+                    try:
+                        # either side may vanish between expansion and this
+                        # compare; that is a FAILED task, not a sim crash
+                        matches = spec.sync_level == "exists" or (
+                            spec.sync_level == "checksum"
+                            and dst.stat(dst_path).checksum == src.stat(src_path).checksum
+                        )
+                    except GridFTPError as exc:
+                        self._fail(task, str(exc))
+                        return
                     if matches:
                         # one control round trip to compare, then move on
                         yield self.ctx.sim.timeout(2.0 * network.rtt_s)

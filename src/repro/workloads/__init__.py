@@ -5,6 +5,7 @@ from .generators import (
     make_clinical_table,
     make_expression_matrix_bytes,
     make_four_cel_archive,
+    make_pricing_sweep_sizes,
     make_rnaseq_archive,
     transfer_corpus,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "make_clinical_table",
     "make_expression_matrix_bytes",
     "make_four_cel_archive",
+    "make_pricing_sweep_sizes",
     "make_rnaseq_archive",
     "transfer_corpus",
 ]

@@ -111,3 +111,26 @@ def transfer_corpus() -> list[tuple[str, int]]:
         (f"file_{size // calibration.MB}MB.dat", size)
         for size in calibration.FIGURE11_FILE_SIZES
     ]
+
+
+def make_pricing_sweep_sizes(
+    n_jobs: int = 2000,
+    seed: int = 0,
+    min_mb: float = 1.0,
+    max_mb: float = 512.0,
+) -> np.ndarray:
+    """Synthetic CEL-archive sizes (bytes) for batch pricing sweeps.
+
+    Log-uniform between ``min_mb`` and ``max_mb`` so the sweep covers the
+    paper's range (the 10.7 MB and 190.3 MB use-case archives sit well
+    inside it) with plenty of mass at both ends.  Returns an
+    ``(n_jobs,)`` integer-valued float array, one single-input job per
+    entry, ready for ``Tool.work_batch`` / ``cloud.estimate_batch``.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if not (0 < min_mb <= max_mb):
+        raise ValueError("need 0 < min_mb <= max_mb")
+    rng = np.random.default_rng(seed)
+    mb = np.exp(rng.uniform(np.log(min_mb), np.log(max_mb), size=n_jobs))
+    return np.round(mb * calibration.MB)

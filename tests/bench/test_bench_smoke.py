@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench import ablations, figure10, figure11, usecase
+from repro.bench import ablations, figure10, figure11, pricing_sweep, usecase
 from repro.calibration import GB, MB
 
 pytestmark = pytest.mark.bench
@@ -41,6 +41,17 @@ def test_usecase_bench_render():
     bench = usecase.run()
     bench.check_shape()
     assert "dynamic cluster expansion" in bench.render()
+
+
+def test_pricing_sweep_smoke_shape():
+    result = pricing_sweep.run(pricing_sweep.SMOKE_CONFIG)
+    result.check_shape()
+    assert result.scalar_max_abs_diff == 0.0
+    assert result.scalar_check_jobs == pricing_sweep.SMOKE_CONFIG.n_jobs
+    assert "Pricing sweep" in result.render()
+    doc = result.to_dict()
+    assert set(doc["total_seconds"]) == set(result.instance_types)
+    assert "rendered" in doc
 
 
 def test_stream_ablation_two_points():

@@ -62,6 +62,38 @@ def test_stop_before_start_rejected():
         m.stop("i-1", now=5.0)
 
 
+def test_zero_duration_interval_bills_full_hour_in_hourly_mode():
+    """2012 EC2: an instance that starts bills an hour even if killed at once."""
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=100.0)
+    m.stop("i-1", now=100.0)
+    assert m.cost(now=100.0, mode="hourly") == pytest.approx(0.04)
+    assert m.cost(now=100.0, mode="proportional") == 0.0
+
+
+def test_open_zero_duration_interval_bills_full_hour_in_hourly_mode():
+    m = BillingMeter()
+    m.start("i-1", "m1.xlarge", now=50.0)
+    assert m.cost(now=50.0, mode="hourly") == pytest.approx(0.32)
+
+
+def test_zero_overlap_window_stays_free_in_both_modes():
+    """Window clipping that leaves no overlap must not charge the started-hour."""
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.stop("i-1", now=100.0)
+    for mode in ("proportional", "hourly"):
+        assert m.cost(now=100.0, window=(500.0, 900.0), mode=mode) == 0.0
+
+
+def test_boundary_touch_window_stays_free_in_hourly_mode():
+    """An interval clipped to a single boundary instant has no billable span."""
+    m = BillingMeter()
+    m.start("i-1", "m1.small", now=0.0)
+    m.stop("i-1", now=100.0)
+    assert m.cost(now=100.0, window=(100.0, 200.0), mode="hourly") == 0.0
+
+
 def test_window_clipping_prices_experiment_span_only():
     m = BillingMeter()
     m.start("i-1", "m1.small", now=0.0)

@@ -1,0 +1,110 @@
+"""Batch work models must match the scalar models exactly, per row."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crdata import USECASE_TOOL_ID, build_crdata_tools
+from repro.crdata.catalog import (
+    BATCH_WORK_MODELS,
+    affy_work,
+    matrix_work,
+    plot_work,
+    seq_work,
+)
+from repro.galaxy.tools import ToolError, as_sizes_matrix, vectorize_work_model
+
+SCALAR_MODELS = [affy_work, matrix_work, seq_work, plot_work]
+
+size_matrices = st.integers(min_value=1, max_value=8).flatmap(
+    lambda cols: st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+            min_size=cols,
+            max_size=cols,
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+
+
+@pytest.mark.parametrize("scalar", SCALAR_MODELS, ids=lambda f: f.__name__)
+@given(matrix=size_matrices)
+def test_batch_matches_scalar_loop_exactly(scalar, matrix):
+    """Bitwise equality: the batch model is the scalar model, vectorized."""
+    arr = np.asarray(matrix, dtype=float)
+    batch = BATCH_WORK_MODELS[scalar]
+    cpu, io = batch({}, arr)
+    assert cpu.shape == io.shape == (arr.shape[0],)
+    for i, row in enumerate(arr):
+        cpu_ref, io_ref = scalar({}, row)
+        assert cpu[i] == cpu_ref  # exact, not approx
+        assert io[i] == io_ref
+
+
+@pytest.mark.parametrize("scalar", SCALAR_MODELS, ids=lambda f: f.__name__)
+def test_batch_accepts_flat_size_vector(scalar):
+    """A 1-D vector means one single-input job per entry."""
+    sizes = np.array([1e6, 2e7, 3e8])
+    batch = BATCH_WORK_MODELS[scalar]
+    cpu_flat, io_flat = batch({}, sizes)
+    cpu_col, io_col = batch({}, sizes.reshape(-1, 1))
+    assert np.array_equal(cpu_flat, cpu_col)
+    assert np.array_equal(io_flat, io_col)
+
+
+def test_every_catalog_work_model_has_a_batch_variant_wired():
+    for tool in build_crdata_tools():
+        if tool.work_model is not None:
+            assert tool.work_model_batch is BATCH_WORK_MODELS[tool.work_model]
+
+
+def test_tool_work_batch_uses_registered_batch_model():
+    tool = next(t for t in build_crdata_tools() if t.id == USECASE_TOOL_ID)
+    sizes = np.array([[10.7e6], [190.3e6]])
+    cpu, io = tool.work_batch({}, sizes)
+    cpu_ref, io_ref = BATCH_WORK_MODELS[tool.work_model]({}, sizes)
+    assert np.array_equal(cpu, cpu_ref)
+    assert np.array_equal(io, io_ref)
+
+
+def test_tool_work_batch_falls_back_to_scalar_wrapper():
+    """A Tool with only a scalar work_model still prices batches."""
+    tool = next(t for t in build_crdata_tools() if t.id == USECASE_TOOL_ID)
+    fallback = replace(tool, work_model_batch=None)
+    assert fallback.work_model_batch is None
+    sizes = np.array([[10.7e6], [190.3e6], [5e5]])
+    cpu, io = fallback.work_batch({}, sizes)
+    cpu_ref, io_ref = tool.work_batch({}, sizes)
+    assert np.array_equal(cpu, cpu_ref)
+    assert np.array_equal(io, io_ref)
+
+
+def test_vectorize_work_model_matches_scalar():
+    wrapped = vectorize_work_model(seq_work)
+    arr = np.array([[1e6, 2e6], [3e6, 4e6]])
+    cpu, io = wrapped({}, arr)
+    for i, row in enumerate(arr):
+        cpu_ref, io_ref = seq_work({}, row)
+        assert cpu[i] == cpu_ref
+        assert io[i] == io_ref
+
+
+def test_as_sizes_matrix_shapes():
+    assert as_sizes_matrix([1.0, 2.0]).shape == (2, 1)
+    assert as_sizes_matrix([[1.0, 2.0]]).shape == (1, 2)
+    with pytest.raises(ToolError, match="1-D or 2-D"):
+        as_sizes_matrix(np.zeros((2, 2, 2)))
+
+
+def test_work_batch_rejects_wrong_output_shape():
+    tool = next(t for t in build_crdata_tools() if t.id == USECASE_TOOL_ID)
+    bad = replace(
+        tool, work_model_batch=lambda params, sizes: (np.zeros(1), np.zeros(1))
+    )
+    with pytest.raises(ToolError, match="shape"):
+        bad.work_batch({}, np.array([[1.0], [2.0]]))

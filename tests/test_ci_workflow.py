@@ -74,6 +74,14 @@ def test_bench_job_diffs_sim_json_across_schedulers(workflow):
     assert any("cmp" in c and "wheel" in c for c in wheel)
 
 
+def test_bench_job_runs_pricing_sweep_smoke(workflow):
+    """The vectorized pricing sweep (equivalence + anchor checks) is in CI."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    pricing = [c for c in commands if "pricing_sweep" in c]
+    assert pricing, "bench-smoke must run the pricing_sweep suite"
+    assert any("--smoke" in c for c in pricing)
+
+
 def test_bench_job_uploads_suite_artifact(workflow):
     uploads = [
         s for s in _steps(workflow, "bench-smoke")

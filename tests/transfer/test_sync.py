@@ -63,6 +63,27 @@ def test_sync_checksum_skips_identical_content(bed):
     assert task.files_transferred == 0
 
 
+def test_sync_checksum_source_vanishing_mid_task_fails_task(bed):
+    """A source file deleted between expansion and the checksum compare
+    must FAIL the task, not crash the simulation (regression)."""
+    bed.laptop_fs.write("/home/boliu/a.txt", data=b"payload")
+    bed.galaxy_fs.write("/a.txt", data=b"stale")
+    task = bed.go.submit(
+        "boliu", sync_spec("checksum", [TransferItem("/home/boliu/a.txt", "/a.txt")])
+    )
+
+    def vanish():
+        # after item expansion (t=0.5s) but before the compare (t>3s)
+        yield bed.ctx.sim.timeout(1.0)
+        bed.laptop_fs.remove("/home/boliu/a.txt")
+
+    bed.ctx.sim.process(vanish(), name="vanish")
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    assert task.status == TaskStatus.FAILED
+    assert task.files_transferred == 0
+    assert any(e.code == "FAILED" for e in task.events)
+
+
 def test_second_sync_run_is_all_skips_and_fast(bed):
     for i in range(4):
         bed.put_file(f"/home/boliu/m/f{i}.dat", size=50 * MB)
