@@ -6,6 +6,7 @@ Examples::
     gp-bench --smoke --workers 4            # CI smoke sweep, fanned out
     gp-bench scale --workers 4 --json-out suite.json --trajectory
     gp-bench fig10 fig11 --workers 2        # a subset of suites
+    gp-bench usecase --smoke --obs-out obs/ # spans: Chrome trace + summary
 
 Exit status is non-zero if any task failed or timed out, so CI can gate
 on the sweep directly.
@@ -14,10 +15,12 @@ on the sweep directly.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
-from ..simcore import SCHEDULERS
+from ..obs import chrome_trace, spans_jsonl, summary_table
+from ..simcore import SCHEDULERS, default_scheduler
 from . import suites, trajectory
 from .harness import run_suite
 
@@ -55,9 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(SCHEDULERS),
         default=None,
         help=(
-            "kernel event queue for every task: 'heap' (binary heap, the"
-            " default) or 'wheel' (calendar queue); sim JSON is"
-            " byte-identical under either"
+            "kernel event queue for every task: 'heap' (binary heap) or"
+            " 'wheel' (calendar queue); sim JSON is byte-identical under"
+            f" either (default: {default_scheduler()!r}, settable via"
+            " REPRO_SIM_SCHEDULER)"
         ),
     )
     parser.add_argument(
@@ -69,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-json-out",
         type=pathlib.Path,
         help="write the host-independent simulation metrics (JSON) here",
+    )
+    parser.add_argument(
+        "--obs-out",
+        type=pathlib.Path,
+        metavar="DIR",
+        help=(
+            "record spans/metrics in every task and write, per suite, a"
+            " Chrome trace_event JSON (Perfetto-loadable), a JSONL span"
+            " log, and a text summary into DIR; simulation results are"
+            " unaffected (see --list for which suites record spans)"
+        ),
     )
     parser.add_argument(
         "--trajectory",
@@ -97,9 +112,39 @@ def build_parser() -> argparse.ArgumentParser:
 def _list_suites(smoke: bool) -> None:
     for name in suites.names():
         suite = suites.get(name, smoke=smoke)
-        print(f"{name}: {suite.description} ({len(suite.specs)} specs)")
+        obs = "obs-out: yes" if suite.supports_obs else "obs-out: no"
+        print(f"{name}: {suite.description} ({len(suite.specs)} specs, {obs})")
         for spec in suite.specs:
             print(f"  {spec.name}  [{spec.task}] {spec.params or ''}")
+
+
+def write_obs_outputs(result, out_dir: pathlib.Path) -> list[pathlib.Path]:
+    """Write per-suite trace artefacts from a suite result's obs docs.
+
+    Tasks are grouped by the suite prefix of their spec name
+    (``fig10/m1.small/w1`` -> ``fig10``), so a combined run still yields
+    one trace file set per constituent suite.  Returns the written paths.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    groups: dict[str, list[dict]] = {}
+    for t in result.tasks:
+        if not t.obs:
+            continue
+        groups.setdefault(t.spec.name.split("/", 1)[0], []).extend(t.obs)
+    written: list[pathlib.Path] = []
+    for group, docs in sorted(groups.items()):
+        trace_path = out_dir / f"{group}.trace.json"
+        trace_path.write_text(json.dumps(chrome_trace(docs), sort_keys=True) + "\n")
+        written.append(trace_path)
+        jsonl_path = out_dir / f"{group}.spans.jsonl"
+        jsonl_path.write_text(spans_jsonl(docs))
+        written.append(jsonl_path)
+        summary_path = out_dir / f"{group}.summary.txt"
+        summary_path.write_text(
+            summary_table(docs, title=f"{group}: span summary (sim-seconds)") + "\n"
+        )
+        written.append(summary_path)
+    return written
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,9 +163,18 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     suite = suites.combined(args.suites or None, smoke=args.smoke)
+    if args.obs_out and not suite.supports_obs:
+        print(
+            "note: none of the selected suites drives a simulation;"
+            " --obs-out will record no spans",
+            file=sys.stderr,
+        )
     mode = f"{args.workers} workers" if args.workers > 1 else "sequential"
     sched = f", scheduler={args.scheduler}" if args.scheduler else ""
-    print(f"running suite {suite.name!r}: {len(suite.specs)} specs, {mode}{sched}")
+    obs_note = ", obs" if args.obs_out else ""
+    print(
+        f"running suite {suite.name!r}: {len(suite.specs)} specs, {mode}{sched}{obs_note}"
+    )
 
     progress = None
     if not args.quiet:
@@ -133,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         default_timeout_s=args.timeout,
         progress=progress,
         scheduler=args.scheduler,
+        obs=args.obs_out is not None,
     )
 
     print()
@@ -144,6 +199,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.sim_json_out:
         args.sim_json_out.write_text(result.sim_json() + "\n")
         print(f"wrote {args.sim_json_out}")
+    if args.obs_out:
+        for path in write_obs_outputs(result, args.obs_out):
+            print(f"wrote {path}")
 
     if args.trajectory is not None:
         record = trajectory.from_suite_result(

@@ -38,6 +38,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs.recorder import capture
 from ..reporting import render_table
 from ..simcore import SCHEDULERS, default_scheduler, set_default_scheduler
 
@@ -116,6 +117,10 @@ class BenchSuite:
     name: str
     description: str
     specs: tuple[BenchSpec, ...]
+    #: whether the suite's tasks drive simulations that record spans —
+    #: ``gp-bench --obs-out`` only produces trace files for suites that do
+    #: (the pricing sweep is a closed-form estimator with no event loop)
+    supports_obs: bool = True
 
     def config_digest(self) -> str:
         return config_digest(self.specs)
@@ -129,13 +134,21 @@ def config_digest(specs) -> str:
 
 @dataclass
 class TaskResult:
-    """Outcome of one spec: ``ok``, ``failed``, or ``timeout``."""
+    """Outcome of one spec: ``ok``, ``failed``, or ``timeout``.
+
+    ``obs`` carries the observability docs recorded while the task ran
+    (one per simulation context; see :mod:`repro.obs`).  It is transport
+    data for the exporters only and deliberately absent from
+    :meth:`to_dict`/``sim_dict`` so result JSON — including the committed
+    determinism baselines — is identical with or without ``--obs-out``.
+    """
 
     spec: BenchSpec
     status: str
     payload: dict | None
     wall_seconds: float
     error: str | None = None
+    obs: list[dict] | None = None
 
     @property
     def ok(self) -> bool:
@@ -219,6 +232,13 @@ class SuiteResult:
     def sim_json(self) -> str:
         return json.dumps(self.sim_dict(), indent=2, sort_keys=True)
 
+    def obs_docs(self) -> list[dict]:
+        """All observability docs recorded by the tasks, in spec order."""
+        docs: list[dict] = []
+        for t in self.tasks:
+            docs.extend(t.obs or ())
+        return docs
+
     def render(self) -> str:
         rows = [
             (
@@ -255,35 +275,49 @@ def _strip_host_dependent(obj):
 
 
 def _execute(
-    spec: BenchSpec, scheduler: str | None = None
-) -> tuple[str, dict | None, float, str | None]:
+    spec: BenchSpec, scheduler: str | None = None, obs: bool = False
+) -> tuple[str, dict | None, float, str | None, list[dict] | None]:
     """Run one spec in the current process; exceptions become records.
 
     ``scheduler`` pins the kernel's default scheduler for the duration
     of the task (restored afterwards), so every simulation the task
     builds — tasks construct their own ``SimContext`` — runs under it.
+
+    ``obs=True`` wraps the task in an ``obs.capture()`` block, so those
+    same simulations each record spans/metrics; the exported docs ride
+    back as the fifth tuple element, relabelled ``<spec name>:<label>``
+    so merged suite traces stay unambiguous.
     """
     t0 = time.perf_counter()
     try:
         fn = resolve_task(spec.task)
-        if scheduler is None:
-            payload = fn(**spec.params)
-        else:
-            previous = set_default_scheduler(scheduler)
-            try:
+        previous = set_default_scheduler(scheduler) if scheduler is not None else None
+        cap = None
+        try:
+            if obs:
+                with capture() as cap:
+                    payload = fn(**spec.params)
+            else:
                 payload = fn(**spec.params)
-            finally:
+        finally:
+            if previous is not None:
                 set_default_scheduler(previous)
         # canonicalize so in-process and piped results merge identically
         payload = json.loads(json.dumps(payload))
-        return "ok", payload, time.perf_counter() - t0, None
+        docs = None
+        if cap is not None:
+            docs = [dict(d, label=f"{spec.name}:{d['label']}") for d in cap.to_docs()]
+            docs = json.loads(json.dumps(docs))
+        return "ok", payload, time.perf_counter() - t0, None, docs
     except Exception:
-        return "failed", None, time.perf_counter() - t0, traceback.format_exc()
+        return "failed", None, time.perf_counter() - t0, traceback.format_exc(), None
 
 
-def run_spec(spec: BenchSpec, scheduler: str | None = None) -> TaskResult:
+def run_spec(
+    spec: BenchSpec, scheduler: str | None = None, obs: bool = False
+) -> TaskResult:
     """In-process execution of a single spec (the drivers' entry point)."""
-    return TaskResult(spec, *_execute(spec, scheduler))
+    return TaskResult(spec, *_execute(spec, scheduler, obs))
 
 
 def _worker_main(conn) -> None:
@@ -303,12 +337,13 @@ def _worker_main(conn) -> None:
         if doc is None:
             break
         scheduler = doc.pop("scheduler", None)
+        obs = doc.pop("obs", False)
         spec = BenchSpec.from_dict(doc)
         try:
-            conn.send(_execute(spec, scheduler))
+            conn.send(_execute(spec, scheduler, obs))
         except Exception:
             try:
-                conn.send(("failed", None, 0.0, traceback.format_exc()))
+                conn.send(("failed", None, 0.0, traceback.format_exc(), None))
             except Exception:
                 break
     conn.close()
@@ -334,10 +369,14 @@ class _Worker:
     def busy(self) -> bool:
         return self.current is not None
 
-    def assign(self, idx: int, spec: BenchSpec, scheduler: str | None) -> None:
+    def assign(
+        self, idx: int, spec: BenchSpec, scheduler: str | None, obs: bool = False
+    ) -> None:
         doc = spec.to_dict()
         if scheduler is not None:
             doc["scheduler"] = scheduler
+        if obs:
+            doc["obs"] = True
         self.conn.send(doc)
         self.current = (idx, spec, time.perf_counter())
 
@@ -364,7 +403,7 @@ class _Worker:
             self.proc.join(timeout=1.0)
 
 
-def _run_pool(specs, workers, default_timeout_s, start_method, progress, scheduler):
+def _run_pool(specs, workers, default_timeout_s, start_method, progress, scheduler, obs):
     ctx = multiprocessing.get_context(start_method or default_start_method())
     n_workers = max(1, min(workers, len(specs)))
     pool: list[_Worker | None] = [_Worker(ctx) for _ in range(n_workers)]
@@ -393,7 +432,7 @@ def _run_pool(specs, workers, default_timeout_s, start_method, progress, schedul
                     continue
                 idx, spec = pending.popleft()
                 try:
-                    w.assign(idx, spec, scheduler)
+                    w.assign(idx, spec, scheduler, obs)
                 except (BrokenPipeError, OSError):
                     # died idle; put the spec back and respawn the slot
                     pending.appendleft((idx, spec))
@@ -410,7 +449,7 @@ def _run_pool(specs, workers, default_timeout_s, start_method, progress, schedul
                 elapsed = time.perf_counter() - started
                 if w.conn.poll(0):
                     try:
-                        status, payload, wall, error = w.conn.recv()
+                        status, payload, wall, error, obs_docs = w.conn.recv()
                     except (EOFError, OSError):
                         w.kill()
                         finish(idx, TaskResult(
@@ -420,7 +459,10 @@ def _run_pool(specs, workers, default_timeout_s, start_method, progress, schedul
                         pool[i] = replacement()
                     else:
                         w.current = None
-                        finish(idx, TaskResult(spec, status, payload, wall, error))
+                        finish(
+                            idx,
+                            TaskResult(spec, status, payload, wall, error, obs_docs),
+                        )
                     progressed = True
                 elif not w.proc.is_alive():
                     exitcode = w.proc.exitcode
@@ -455,6 +497,7 @@ def run_suite(
     start_method: str | None = None,
     progress=None,
     scheduler: str | None = None,
+    obs: bool = False,
 ) -> SuiteResult:
     """Execute every spec and merge the results deterministically.
 
@@ -465,6 +508,10 @@ def run_suite(
     ``scheduler`` selects the kernel event queue (``"heap"`` or
     ``"wheel"``) for every task; the schedulers are pop-order
     equivalent, so ``sim_json()`` is byte-identical under either.
+
+    ``obs=True`` records spans/metrics inside every task (see
+    :mod:`repro.obs`); the docs land on each :class:`TaskResult`'s
+    ``obs`` field and leave payloads and ``sim_json()`` untouched.
     """
     if scheduler is not None and scheduler not in SCHEDULERS:
         raise ValueError(
@@ -474,7 +521,7 @@ def run_suite(
     if workers <= 1:
         results = []
         for spec in suite.specs:
-            result = run_spec(spec, scheduler)
+            result = run_spec(spec, scheduler, obs)
             results.append(result)
             if progress is not None:
                 progress(result)
@@ -486,6 +533,7 @@ def run_suite(
             start_method,
             progress,
             scheduler,
+            obs,
         )
     wall = time.perf_counter() - t0
     return SuiteResult(

@@ -75,32 +75,47 @@ class ChefRunner:
             node=node.name, run_list=run_list, started_at=self.ctx.now
         )
         self.ctx.log("chef", "converge-start", node=node.name, run_list=run_list)
-        for item in run_list:
-            recipe = self.repo.resolve(item)
-            for resource in recipe.compile(node):
-                if resource.only_if is not None and not resource.only_if(node):
-                    report.outcomes.append(
-                        ResourceOutcome(resource.describe(), item, "guarded", 0.0)
-                    )
-                    continue
-                if resource.is_satisfied(node):
-                    cost = SKIP_COST_S / node.io_factor
+        obs = self.ctx.obs
+        track = f"chef/{node.name}"
+        span = obs.start("chef.converge", track=track, node=node.name)
+        try:
+            for item in run_list:
+                recipe = self.repo.resolve(item)
+                recipe_span = obs.start("chef.recipe", track=track, recipe=item)
+                before = len(report.outcomes)
+                for resource in recipe.compile(node):
+                    if resource.only_if is not None and not resource.only_if(node):
+                        report.outcomes.append(
+                            ResourceOutcome(resource.describe(), item, "guarded", 0.0)
+                        )
+                        continue
+                    if resource.is_satisfied(node):
+                        cost = SKIP_COST_S / node.io_factor
+                        yield self.ctx.sim.timeout(cost)
+                        report.outcomes.append(
+                            ResourceOutcome(resource.describe(), item, "skipped", cost)
+                        )
+                        continue
+                    cost = self.resource_cost_s(node, resource)
                     yield self.ctx.sim.timeout(cost)
+                    try:
+                        resource.apply(node)
+                    except Exception as exc:  # surface with context
+                        raise ConvergeError(
+                            f"{resource.describe()} failed on {node.name}: {exc}"
+                        ) from exc
                     report.outcomes.append(
-                        ResourceOutcome(resource.describe(), item, "skipped", cost)
+                        ResourceOutcome(resource.describe(), item, "applied", cost)
                     )
-                    continue
-                cost = self.resource_cost_s(node, resource)
-                yield self.ctx.sim.timeout(cost)
-                try:
-                    resource.apply(node)
-                except Exception as exc:  # surface with context
-                    raise ConvergeError(
-                        f"{resource.describe()} failed on {node.name}: {exc}"
-                    ) from exc
-                report.outcomes.append(
-                    ResourceOutcome(resource.describe(), item, "applied", cost)
+                applied = sum(
+                    1 for o in report.outcomes[before:] if o.action == "applied"
                 )
+                obs.finish(recipe_span.set(applied=applied))
+                obs.counter("chef.resources_applied").inc(applied)
+        except BaseException as exc:
+            obs.finish_open(track, status="error", error=repr(exc))
+            raise
+        obs.finish(span.set(applied=len(report.applied)))
         node.run_list = run_list
         report.finished_at = self.ctx.now
         node.converge_log.append(

@@ -117,6 +117,9 @@ class MockEC2:
         self.images: dict[str, AMI] = {}
         self.keypairs: dict[str, KeyPair] = {}
         self._counter = 0
+        #: open ``ec2.boot`` spans by instance id (only populated when the
+        #: context's observability recorder is live)
+        self._boot_spans: dict[str, object] = {}
         # Pre-register the paper's public GP AMI.
         self.images["ami-b12ee0d8"] = AMI(
             id="ami-b12ee0d8",
@@ -201,6 +204,9 @@ class MockEC2:
             < self.capacity_error_rate
         ):
             self.ctx.log("ec2", "capacity-error", type=instance_type)
+            obs = self.ctx.obs
+            obs.counter("ec2.capacity_errors").inc()
+            obs.instant("ec2.capacity-error", track="ec2", type=instance_type)
             raise InsufficientCapacity(
                 f"Insufficient capacity for {instance_type}; retry shortly"
             )
@@ -222,6 +228,12 @@ class MockEC2:
             self.instances[iid] = inst
             self.instances[iid]._running_event = self.ctx.sim.event()
             self.ctx.log("ec2", "launch", instance=iid, type=itype.name)
+            obs = self.ctx.obs
+            if obs.enabled:
+                self._boot_spans[iid] = obs.start(
+                    "ec2.boot", track=f"ec2/{iid}", instance=iid, type=itype.name
+                )
+                obs.counter("ec2.launches").inc()
             self.ctx.sim.call_in(self._boot_delay(itype), lambda i=inst: self._enter_running(i))
             out.append(inst)
         return out
@@ -239,6 +251,9 @@ class MockEC2:
         inst.state = InstanceState.RUNNING
         self.meter.start(inst.id, inst.instance_type, self.ctx.now)
         self.ctx.log("ec2", "running", instance=inst.id)
+        span = self._boot_spans.pop(inst.id, None)
+        if span is not None:
+            self.ctx.obs.finish(span)
         ev = inst._running_event
         inst._running_event = None
         if ev is not None and not ev.triggered:
@@ -287,6 +302,15 @@ class MockEC2:
             if inst._running_event is None:
                 inst._running_event = self.ctx.sim.event()
             self.ctx.log("ec2", "restart", instance=iid)
+            obs = self.ctx.obs
+            if obs.enabled:
+                self._boot_spans[iid] = obs.start(
+                    "ec2.boot",
+                    track=f"ec2/{iid}",
+                    instance=iid,
+                    type=inst.itype.name,
+                    restart=True,
+                )
             delay = self._boot_delay(inst.itype, fraction=RESTART_FRACTION_OF_BOOT)
             self.ctx.sim.call_in(delay, lambda i=inst: self._enter_running(i))
 
@@ -300,6 +324,9 @@ class MockEC2:
             was_pending = inst.state == InstanceState.PENDING
             inst.state = InstanceState.SHUTTING_DOWN
             self.ctx.log("ec2", "terminating", instance=iid)
+            span = self._boot_spans.pop(iid, None)
+            if span is not None:
+                self.ctx.obs.finish(span, status="cancelled", error="terminated while booting")
             ev = inst._running_event
             inst._running_event = None
             if ev is not None and not ev.triggered:

@@ -126,6 +126,14 @@ class Startd:
         self.ctx.log(
             "condor", "match", job=job.id, machine=self.machine.name, slot=slot
         )
+        obs = self.ctx.obs
+        if obs.enabled:
+            track = f"condor/job-{job.id}"
+            obs.finish_open(track)  # the condor.wait span
+            obs.start("condor.run", track=track, job=job.id, machine=self.machine.name)
+            obs.histogram("condor.queue_wait_s").observe(
+                self.ctx.now - job.submit_time
+            )
         self._run_procs[slot] = self.ctx.sim.process(
             self._run(slot, job, pool), name=f"startd-{self.machine.name}-{slot}"
         )
@@ -142,9 +150,14 @@ class Startd:
             del self.busy[slot]
             self._run_procs.pop(slot, None)
             pool._update_free(self)
+            obs = self.ctx.obs
             if job.state == JobState.REMOVED:
                 # condor_rm while running: free the slot, nothing to rematch
                 self.ctx.log("condor", "removed", job=job.id, machine=self.machine.name)
+                if obs.enabled:
+                    obs.finish_open(
+                        f"condor/job-{job.id}", status="cancelled", error="condor_rm"
+                    )
             else:
                 # Evicted: job goes back to idle for rematching.
                 job.state = JobState.IDLE
@@ -153,6 +166,11 @@ class Startd:
                 job.start_time = None
                 job.evictions += 1
                 self.ctx.log("condor", "evict", job=job.id, machine=self.machine.name)
+                if obs.enabled:
+                    track = f"condor/job-{job.id}"
+                    obs.finish_open(track, status="error", error="evicted")
+                    obs.start("condor.wait", track=track, job=job.id, requeued=True)
+                    obs.counter("condor.evictions").inc()
             pool._wake_negotiator()
             self._check_drained()
             return
@@ -166,6 +184,10 @@ class Startd:
         if job.completed is not None and not job.completed.triggered:
             job.completed.succeed(job)
         self.ctx.log("condor", "complete", job=job.id, machine=self.machine.name)
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.finish_open(f"condor/job-{job.id}")  # the condor.run span
+            obs.counter("condor.completions").inc()
         pool._job_finished(job)
         self._check_drained()
 
@@ -388,6 +410,10 @@ class CondorPool:
             self.ctx,
         )
         self.ctx.log("condor", "submit", job=job.id, owner=owner, work=cpu_work)
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.start("condor.wait", track=f"condor/job-{job.id}", job=job.id, owner=owner)
+            obs.counter("condor.submits").inc()
         self._wake_negotiator()
         return job
 
@@ -408,6 +434,11 @@ class CondorPool:
                 for slot, running in list(startd.busy.items()):
                     if running is job:
                         startd._run_procs[slot].interrupt("condor_rm")
+        else:
+            # idle: the running case closes its spans on interrupt delivery
+            self.ctx.obs.finish_open(
+                f"condor/job-{job.id}", status="cancelled", error="condor_rm"
+            )
         self.ctx.log("condor", "rm", job=job.id)
 
     # -- stats -------------------------------------------------------------------
@@ -501,9 +532,13 @@ class CondorPool:
                 )
 
     def _negotiation_cycle(self) -> None:
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.counter("condor.negotiation_cycles").inc()
         if not self._free:
             return  # every slot is claimed; nothing can match
         idle = self._match_order() if self.fair_share else self.schedd.idle_jobs()
+        matched = 0
         for job in idle:
             if not self._free:
                 break  # the cycle itself consumed the last free slot
@@ -520,3 +555,7 @@ class CondorPool:
                 key=lambda s: (job.rank_of(s.machine), -len(s.busy), s.machine.name),
             )
             best.claim(job, self)
+            matched += 1
+        if obs.enabled and matched:
+            obs.instant("condor.negotiate", track="condor", matched=matched)
+            obs.counter("condor.matches").inc(matched)

@@ -358,6 +358,12 @@ class JobManager:
             ds.creating_job_id = job.id
         job.state = JobState.QUEUED
         self.ctx.log("galaxy", "job-submit", job=job.id, tool=tool.id, user=user)
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.start(
+                "galaxy.job", track=f"galaxy/job-{job.id}", job=job.id, tool=tool.id
+            )
+            obs.counter("galaxy.jobs_submitted").inc()
         self.ctx.sim.process(self._run(job), name=f"job-{job.id}")
         return job
 
@@ -377,6 +383,10 @@ class JobManager:
         yield self.ctx.sim.timeout(self.prep_overhead_s)
         job.state = JobState.RUNNING
         job.start_time = self.ctx.now
+        obs = self.ctx.obs
+        if obs.enabled:
+            # nested under galaxy.job: the compute phase after prep
+            obs.start("galaxy.job.run", track=f"galaxy/job-{job.id}", job=job.id)
         for ds in job.outputs.values():
             ds.state = DatasetState.RUNNING
         services = dict(self.services)
@@ -420,6 +430,11 @@ class JobManager:
         job.state = JobState.OK
         job.end_time = self.ctx.now
         self.ctx.log("galaxy", "job-ok", job=job.id, machine=job.machine)
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.finish_open(f"galaxy/job-{job.id}")
+            obs.counter("galaxy.jobs_ok").inc()
+            obs.histogram("galaxy.job_wall_s").observe(job.wall_s or 0.0)
         self._notify(job)
 
     def _finish_error(self, job: Job, message: str, run: ToolRunContext) -> None:
@@ -431,6 +446,10 @@ class JobManager:
             ds.state = DatasetState.ERROR
             ds.info = message
         self.ctx.log("galaxy", "job-error", job=job.id, error=message)
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.finish_open(f"galaxy/job-{job.id}", status="error", error=message)
+            obs.counter("galaxy.jobs_error").inc()
         self._notify(job)
 
     def _notify(self, job: Job) -> None:

@@ -1,0 +1,66 @@
+"""Unified observability: spans, metrics, and trace exporters.
+
+The reproduction's answer to the paper's "where does deployment time go?"
+question (Figs. 10–11): every layer of the stack — kernel, EC2 control
+plane, Chef converges, GridFTP/Globus transfers, the Condor pool, and
+Galaxy jobs — opens hierarchical :class:`Span` intervals keyed on
+*simulated* time and publishes named metrics into a per-context registry.
+
+Disabled (the default), the whole subsystem is a handful of shared no-op
+singletons and simulation output is byte-identical to an uninstrumented
+build — CI enforces this.  Enabled, a run exports:
+
+* a Chrome ``trace_event`` JSON loadable in Perfetto / ``about://tracing``;
+* a flat JSONL span log;
+* a text summary table (count / total / p50 / p95 per span name).
+
+Enable per context::
+
+    ctx = SimContext(seed=0, obs=True)
+    ...
+    print(summary_table(ctx.obs))
+
+or for everything built inside a block (how ``gp-bench --obs-out`` taps
+simulations constructed deep inside benchmark tasks)::
+
+    with capture() as cap:
+        run_usecase()
+    json.dump(chrome_trace(cap), open("usecase.trace.json", "w"))
+"""
+
+from .export import as_docs, chrome_trace, metrics_rows, spans_jsonl, summary_rows, summary_table
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    Capture,
+    NullRecorder,
+    ObsRecorder,
+    Span,
+    capture,
+    capturing,
+    recorder_for_context,
+)
+from .validate import check_chrome_trace
+
+__all__ = [
+    "Capture",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsRecorder",
+    "Span",
+    "as_docs",
+    "capture",
+    "capturing",
+    "check_chrome_trace",
+    "chrome_trace",
+    "metrics_rows",
+    "recorder_for_context",
+    "spans_jsonl",
+    "summary_rows",
+    "summary_table",
+]

@@ -1,0 +1,179 @@
+"""Deterministic metrics primitives: counters, gauges, fixed-bucket histograms.
+
+Every layer of the simulation publishes into one :class:`MetricsRegistry`
+(owned by the context's :class:`~repro.obs.recorder.ObsRecorder`).  All
+state is plain Python numbers updated in event-processing order, so two
+runs of the same seed produce byte-identical exports — there is no
+wall-clock, no sampling, and no unseeded randomness anywhere in here.
+
+Histograms use *fixed* bucket bounds chosen at creation time (default: a
+1-2-5 decade ladder over sim-seconds).  Quantile estimates are therefore
+deterministic too: :meth:`Histogram.quantile` returns the upper bound of
+the bucket containing the requested rank, which is the conventional
+Prometheus-style estimate.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+
+def _decade_ladder(lo: float = 0.001, hi: float = 100_000.0) -> tuple[float, ...]:
+    """A 1-2-5 ladder of bucket upper bounds spanning [lo, hi]."""
+    bounds: list[float] = []
+    scale = lo
+    while scale <= hi:
+        for mult in (1.0, 2.0, 5.0):
+            bound = scale * mult
+            if lo <= bound <= hi:
+                bounds.append(bound)
+        scale *= 10.0
+    return tuple(bounds)
+
+
+#: default histogram bucket upper bounds (sim-seconds): 1ms .. ~1 sim-day
+DEFAULT_BUCKETS = _decade_ladder()
+
+
+class Counter:
+    """A monotonically increasing count (events, faults, retries, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways; tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values (deterministic)."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} bounds must be strictly increasing")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        #: one count per bound, plus a final overflow bucket (+inf)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # linear scan is fine: bucket ladders are a few dozen entries and
+        # most observations land in the first decades
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile rank.
+
+        Returns the overall max for ranks landing in the overflow bucket
+        (and for q=1.0), and 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        seen = 0
+        for i, bound in enumerate(self.bounds):
+            seen += self.bucket_counts[i]
+            if seen >= rank:
+                return bound
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, exported in sorted-name order."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, *args)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot, keys sorted for byte-stable exports."""
+        return {name: self._metrics[name].to_dict() for name in sorted(self._metrics)}

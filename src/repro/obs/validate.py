@@ -1,0 +1,102 @@
+"""Schema check for exported Chrome ``trace_event`` files.
+
+CI's obs-smoke step runs this over every ``*.trace.json`` the harness
+wrote::
+
+    python -m repro.obs.validate obs-out/*.trace.json
+
+Checks (per file): the document is a JSON object with a ``traceEvents``
+list; every event has a known phase (``X``/``i``/``M``) plus integer
+``pid``/``tid``; timed events carry finite non-negative ``ts`` (and, for
+``X``, ``dur``); and per (pid, tid) track the ``ts`` sequence is monotone
+non-decreasing — the ordering Perfetto relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import sys
+
+__all__ = ["check_chrome_trace", "main"]
+
+_PHASES = {"X", "i", "M"}
+
+
+def _is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+def check_chrome_trace(doc) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    last_ts: dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int) or isinstance(ev.get(key), bool):
+                errors.append(f"{where}: {key} must be an integer")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not _is_num(ts) or ts < 0:
+            errors.append(f"{where}: ts must be a finite number >= 0, got {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not _is_num(dur) or dur < 0:
+                errors.append(f"{where}: dur must be a finite number >= 0, got {dur!r}")
+        track = (ev.get("pid"), ev.get("tid"))
+        prev = last_ts.get(track)
+        if prev is not None and ts < prev:
+            errors.append(
+                f"{where}: ts went backwards on track pid={track[0]} "
+                f"tid={track[1]} ({ts} < {prev})"
+            )
+        last_ts[track] = ts
+    if not any(ev.get("ph") == "X" for ev in events if isinstance(ev, dict)):
+        errors.append("trace contains no complete ('X') span events")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = [pathlib.Path(p) for p in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: python -m repro.obs.validate TRACE.json [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        errors = check_chrome_trace(doc)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            n = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+            print(f"{path}: ok ({n} spans)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

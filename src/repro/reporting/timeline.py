@@ -1,14 +1,24 @@
-"""Deployment timeline: a text Gantt chart from the simulation trace.
+"""Deployment timeline: a text Gantt chart from trace records or spans.
 
-Renders what happened when during a GP deployment — instance boots and
-Chef converges per host — which makes the Fig. 10 deployment-time
-structure visible at a glance.
+Renders what happened when during a GP deployment — instance boots,
+Chef converges per host, and Globus Online transfer tasks — which makes
+the Fig. 10 deployment-time structure visible at a glance.
+
+Two input forms are accepted everywhere a trace is:
+
+* a :class:`~repro.simcore.TraceLog` (the classic path, reconstructed
+  from ``ec2``/``chef``/``globus`` records);
+* anything :func:`repro.obs.export.as_docs` understands — an
+  :class:`~repro.obs.ObsRecorder`, a :class:`~repro.obs.Capture`, or
+  exported doc dicts — in which case intervals come straight from the
+  recorded ``ec2.boot`` / ``chef.converge`` / ``go.task`` spans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.export import as_docs
 from ..simcore import TraceLog
 
 
@@ -18,28 +28,71 @@ class Interval:
     start: float
     end: float
 
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
 
-def collect_intervals(trace: TraceLog) -> list[Interval]:
-    """Boot and converge intervals from the standard trace events."""
+
+def collect_intervals(source: "TraceLog | object") -> list[Interval]:
+    """Boot, converge, and transfer intervals from a trace or from spans."""
+    if hasattr(source, "records"):
+        return _intervals_from_trace(source)
+    return _intervals_from_spans(source)
+
+
+#: obs span name -> (label prefix, attribute naming the entity)
+_SPAN_ROWS = {
+    "ec2.boot": ("boot", "instance"),
+    "chef.converge": ("chef", "node"),
+    "go.task": ("go", "task"),
+}
+
+
+def _intervals_from_spans(source) -> list[Interval]:
+    intervals: list[Interval] = []
+    for doc in as_docs(source):
+        for span in doc.get("spans", ()):
+            row = _SPAN_ROWS.get(span["name"])
+            if row is None or span.get("end") is None:
+                continue
+            prefix, key = row
+            entity = (span.get("attrs") or {}).get(key, "?")
+            intervals.append(
+                Interval(f"{prefix} {entity}", float(span["start"]), float(span["end"]))
+            )
+    return intervals
+
+
+def _intervals_from_trace(trace: TraceLog) -> list[Interval]:
     intervals: list[Interval] = []
     boot_starts: dict[str, float] = {}
+    go_starts: dict[str, float] = {}
+    trace_start = trace.records[0].time if trace.records else 0.0
     for rec in trace.records:
         if rec.source == "ec2" and rec.kind == "launch":
             boot_starts[rec.detail["instance"]] = rec.time
         elif rec.source == "ec2" and rec.kind == "running":
             iid = rec.detail["instance"]
-            if iid in boot_starts:
-                intervals.append(Interval(f"boot {iid}", boot_starts.pop(iid), rec.time))
+            # A launch that predates the trace window still produces a
+            # (clamped) boot bar rather than vanishing from the chart.
+            start = boot_starts.pop(iid, trace_start)
+            intervals.append(Interval(f"boot {iid}", min(start, rec.time), rec.time))
         elif rec.source == "chef" and rec.kind == "converge-done":
             node = rec.detail["node"]
             duration = rec.detail["duration"]
             intervals.append(Interval(f"chef {node}", rec.time - duration, rec.time))
+        elif rec.source == "globus" and rec.kind == "task-submit":
+            go_starts[rec.detail["task"]] = rec.time
+        elif rec.source == "globus" and rec.kind == "task-done":
+            task = rec.detail["task"]
+            start = go_starts.pop(task, trace_start)
+            intervals.append(Interval(f"go {task}", min(start, rec.time), rec.time))
     return intervals
 
 
-def render_timeline(trace: TraceLog, width: int = 50) -> str:
+def render_timeline(source: "TraceLog | object", width: int = 50) -> str:
     """Gantt-style bars, one per interval, on a shared time axis."""
-    intervals = collect_intervals(trace)
+    intervals = collect_intervals(source)
     if not intervals:
         return "(no deployment activity recorded)"
     t0 = min(iv.start for iv in intervals)

@@ -12,6 +12,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..obs.recorder import recorder_for_context
 from .kernel import Simulator
 from .rng import RandomStreams
 
@@ -60,11 +61,19 @@ class SimContext:
         seed: int = 0,
         initial_time: float = 0.0,
         scheduler: str | None = None,
+        obs: object = None,
     ) -> None:
         self.seed = seed
         self.sim = Simulator(initial_time=initial_time, scheduler=scheduler)
         self.rng = RandomStreams(seed)
         self.trace = TraceLog()
+        #: observability recorder (see :mod:`repro.obs`): pass an
+        #: :class:`~repro.obs.ObsRecorder` or ``True`` to record spans and
+        #: metrics; the default is the shared null recorder unless an
+        #: ``obs.capture()`` block is active, in which case a fresh
+        #: recorder is created and registered with it.
+        self.obs = recorder_for_context(obs, self.sim)
+        self.sim.obs = self.obs
 
     @property
     def now(self) -> float:

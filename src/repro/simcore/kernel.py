@@ -57,6 +57,7 @@ from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Callable, Optional
 
+from ..obs.recorder import NULL_RECORDER
 from .calendar import CalendarQueue
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import LAZY, NORMAL, URGENT, AllOf, AnyOf, SimEvent, Timeout
@@ -124,6 +125,7 @@ class Simulator:
         "_active_process",
         "events_processed",
         "peak_queue_depth",
+        "obs",
     )
 
     def __init__(
@@ -163,6 +165,12 @@ class Simulator:
         self.events_processed: int = 0
         #: high-water mark of pending events (heap + immediate deque)
         self.peak_queue_depth: int = 0
+        #: observability recorder; the shared null singleton unless a
+        #: :class:`~repro.simcore.context.SimContext` installs a live one.
+        #: The hot drain loops never consult it — :meth:`run` checks
+        #: ``obs.enabled`` once per call, so instrumentation off costs
+        #: nothing per event.
+        self.obs = NULL_RECORDER
 
     # -- clock ------------------------------------------------------------
     @property
@@ -496,7 +504,41 @@ class Simulator:
         ``until`` may be ``None`` (drain), a number (absolute time), or an
         event (stop when it is processed, returning its value — or raising
         it, if the event failed).
+
+        The per-simulator counters (:attr:`events_processed`,
+        :attr:`peak_queue_depth`) **persist across calls**: each ``run()``
+        accumulates onto the totals rather than resetting them, so a
+        scenario staged as several ``run(until=...)`` phases reports the
+        same counts as one uninterrupted drain.  Sample before/after a
+        call to attribute counts to one phase.
+
+        With a live observability recorder installed (see
+        :mod:`repro.obs`), every call records a ``kernel.run`` span on the
+        ``kernel`` track carrying the scheduler name and the number of
+        events the call processed, and updates the ``kernel.events`` /
+        ``kernel.runs`` counters and the ``kernel.peak_queue_depth``
+        gauge.  The disabled recorder skips all of it after one flag test.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._run(until)
+        span = obs.start("kernel.run", track="kernel", scheduler=self._scheduler)
+        before = self.events_processed
+        try:
+            result = self._run(until)
+        except BaseException as exc:
+            span.set(events=self.events_processed - before)
+            obs.finish(span, status="error", error=repr(exc))
+            raise
+        delta = self.events_processed - before
+        span.set(events=delta)
+        obs.finish(span)
+        obs.counter("kernel.runs").inc()
+        obs.counter("kernel.events").inc(delta)
+        obs.gauge("kernel.peak_queue_depth").set(self.peak_queue_depth)
+        return result
+
+    def _run(self, until: float | SimEvent | None) -> object:
         stop_value: dict = {}
         until_f: Optional[float] = None
         if isinstance(until, SimEvent):

@@ -320,6 +320,26 @@ class GlobusOnline:
         )
         self.tasks[task.task_id] = task
         self._event(task, "SUBMITTED", f"{len(spec.items)} item(s)")
+        self.ctx.log(
+            "globus",
+            "task-submit",
+            task=task.task_id,
+            src=spec.source_endpoint,
+            dst=spec.dest_endpoint,
+            items=len(spec.items),
+            label=spec.label,
+        )
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.start(
+                "go.task",
+                track=f"go/{task.task_id}",
+                task=task.task_id,
+                src=spec.source_endpoint,
+                dst=spec.dest_endpoint,
+                label=spec.label,
+            )
+            obs.counter("go.tasks").inc()
         self.ctx.sim.process(self._run_task(task), name=task.task_id)
         return task
 
@@ -342,14 +362,36 @@ class GlobusOnline:
         task.fatal_error = reason
         task.completion_time = self.ctx.now
         self._event(task, "FAILED", reason)
-        self._notify(task)
-        if task.done is not None and not task.done.triggered:
-            task.done.succeed(task)
+        self._finish(task)
 
     def _succeed(self, task: TransferTask) -> None:
         task.status = TaskStatus.SUCCEEDED
         task.completion_time = self.ctx.now
         self._event(task, "SUCCEEDED", f"{task.bytes_transferred} bytes")
+        self._finish(task)
+
+    def _finish(self, task: TransferTask) -> None:
+        """Common terminal bookkeeping: trace record, spans, notification."""
+        self.ctx.log(
+            "globus",
+            "task-done",
+            task=task.task_id,
+            status=task.status.value,
+            bytes=task.bytes_transferred,
+            files=task.files_transferred,
+            faults=task.faults,
+            error=task.fatal_error,
+        )
+        obs = self.ctx.obs
+        if obs.enabled:
+            # closes the task span and any file span still open on a
+            # mid-transfer failure, innermost first
+            if task.status is TaskStatus.FAILED:
+                obs.finish_open(
+                    f"go/{task.task_id}", status="error", error=task.fatal_error
+                )
+            else:
+                obs.finish_open(f"go/{task.task_id}")
         self._notify(task)
         if task.done is not None and not task.done.triggered:
             task.done.succeed(task)
@@ -435,6 +477,8 @@ class GlobusOnline:
         )
 
         faults_stream = self.ctx.stream("globus.faults")
+        obs = self.ctx.obs
+        track = f"go/{task.task_id}"
         src_conn = src._conn_pool.request()
         dst_conn = dst._conn_pool.request()
         yield src_conn
@@ -460,6 +504,9 @@ class GlobusOnline:
                         continue
                 streams = src.stream_plan(size, spec.parallel)
                 wire = src.wire_seconds(network, size, streams)
+                file_span = obs.start(
+                    "go.file", track=track, path=dst_path, bytes=size, streams=streams
+                )
                 attempt = 0
                 while True:
                     attempt += 1
@@ -484,6 +531,11 @@ class GlobusOnline:
                     self._event(
                         task, "FAULT", f"{src_path}: connection reset (attempt {attempt})"
                     )
+                    if obs.enabled:
+                        obs.counter("go.faults").inc()
+                        obs.instant(
+                            "go.fault", track=track, path=src_path, attempt=attempt
+                        )
                     if attempt > self.max_retries:  # max_retries + 1 attempts total
                         self._fail(task, f"{src_path}: retries exhausted")
                         return
@@ -505,6 +557,12 @@ class GlobusOnline:
                 task.files_transferred += 1
                 task.bytes_transferred += size
                 self._event(task, "PROGRESS", f"{dst_path} ({size} bytes)")
+                obs.finish(file_span.set(attempts=attempt))
+                if obs.enabled:
+                    obs.counter("go.bytes").inc(size)
+                    obs.histogram("go.file_seconds").observe(
+                        file_span.duration_s or 0.0
+                    )
         finally:
             src_conn.release()
             dst_conn.release()

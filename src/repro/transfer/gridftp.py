@@ -159,6 +159,16 @@ class GridFTPServer:
         node = self.stat(src_path)
         streams = self.stream_plan(node.size, parallel)
         start = self.ctx.now
+        obs = self.ctx.obs
+        # track=None: concurrent transfers through one server overlap
+        # arbitrarily, so each span gets its own single-use track
+        span = obs.start(
+            "gridftp.transfer",
+            src=f"{self.hostname}:{src_path}",
+            dst=f"{dest.hostname}:{dst_path}",
+            bytes=node.size,
+            streams=streams,
+        )
         src_req = self._conn_pool.request()
         dst_req = dest._conn_pool.request()
         yield src_req
@@ -171,13 +181,23 @@ class GridFTPServer:
             yield self.ctx.sim.timeout(
                 slow_start_ramp_s(network, calibration.GO_WINDOW_BYTES)
             )
+            chunks = 0
             for slice_bytes in coalesced_chunk_plan(node.size):
                 yield self.ctx.sim.timeout(slice_bytes * 8.0 / rate)
                 self.bytes_moved += slice_bytes
+                chunks += 1
             dest.store(dst_path, node, now=self.ctx.now)
+        except BaseException as exc:
+            obs.finish(span, status="error", error=repr(exc))
+            raise
         finally:
             src_req.release()
             dst_req.release()
+        obs.finish(span.set(chunks=chunks))
+        if obs.enabled:
+            obs.counter("gridftp.transfers").inc()
+            obs.counter("gridftp.chunks").inc(chunks)
+            obs.counter("gridftp.bytes").inc(node.size)
         self.ctx.log(
             "gridftp",
             "transfer",

@@ -1,0 +1,110 @@
+"""--obs-out plumbing: capture in workers, doc forwarding, artefact files.
+
+The invariants: obs docs ride back from worker processes intact, they
+never leak into result/sim JSON (the determinism baselines), and the CLI
+writes one schema-valid trace file set per constituent suite.
+"""
+
+import json
+import pathlib
+
+from repro.bench import cli, suites
+from repro.bench.harness import BenchSpec, BenchSuite, run_spec, run_suite
+from repro.obs.validate import check_chrome_trace
+
+SMOKE = BenchSuite(
+    "plumbing-smoke",
+    "usecase smoke under observation",
+    (BenchSpec(name="usecase/expansion", task="usecase.expansion"),),
+)
+
+
+def test_run_spec_obs_collects_relabelled_docs():
+    result = run_spec(SMOKE.specs[0], obs=True)
+    assert result.ok
+    assert result.obs, "expected at least one obs doc"
+    for doc in result.obs:
+        assert doc["label"].startswith("usecase/expansion:sim-")
+        assert doc["spans"]
+    # obs off -> no docs
+    assert run_spec(SMOKE.specs[0]).obs is None
+
+
+def test_obs_docs_identical_sequential_vs_pooled():
+    seq = run_suite(SMOKE, workers=1, obs=True)
+    pooled = run_suite(SMOKE, workers=2, obs=True)
+    assert seq.obs_docs() == pooled.obs_docs()
+    assert seq.obs_docs(), "expected docs from the pooled run"
+
+
+def test_obs_absent_from_result_and_sim_json():
+    with_obs = run_suite(SMOKE, workers=1, obs=True)
+    without = run_suite(SMOKE, workers=1, obs=False)
+    assert "obs" not in json.dumps(with_obs.to_dict())
+    assert with_obs.sim_json() == without.sim_json()
+
+
+def test_failed_task_carries_no_docs():
+    suite = BenchSuite(
+        "boom", "scripted failure", (BenchSpec(name="x/boom", task="selftest.boom"),)
+    )
+    result = run_suite(suite, workers=1, obs=True)
+    assert result.tasks[0].status == "failed"
+    assert result.tasks[0].obs is None
+
+
+def test_write_obs_outputs_one_file_set_per_suite(tmp_path):
+    suite = suites.combined(["usecase", "fig11"], smoke=True)
+    result = run_suite(suite, workers=1, obs=True)
+    written = cli.write_obs_outputs(result, tmp_path)
+    names = sorted(p.name for p in written)
+    assert names == [
+        "fig11.spans.jsonl",
+        "fig11.summary.txt",
+        "fig11.trace.json",
+        "usecase.spans.jsonl",
+        "usecase.summary.txt",
+        "usecase.trace.json",
+    ]
+    for trace in tmp_path.glob("*.trace.json"):
+        assert check_chrome_trace(json.loads(trace.read_text())) == []
+    assert "span summary" in (tmp_path / "usecase.summary.txt").read_text()
+
+
+def test_suite_obs_support_flags():
+    assert suites.get("usecase").supports_obs
+    assert not suites.get("pricing_sweep").supports_obs
+    assert suites.combined(["pricing_sweep"]).supports_obs is False
+    assert suites.combined(["pricing_sweep", "usecase"]).supports_obs is True
+
+
+def test_cli_obs_out_flag_end_to_end(tmp_path, capsys):
+    out = tmp_path / "obs"
+    code = cli.main(
+        ["usecase", "--smoke", "--obs-out", str(out), "-q"]
+    )
+    assert code == 0
+    assert check_chrome_trace(json.loads((out / "usecase.trace.json").read_text())) == []
+    assert (out / "usecase.spans.jsonl").read_text().strip()
+    assert "usecase.trace.json" in capsys.readouterr().out
+
+
+def test_committed_smoke_baseline_regenerates_byte_identically():
+    """The obs-off determinism pin: rebuilding the smoke sweep's sim JSON
+    reproduces benchmarks/results/bench_smoke_sim.json exactly."""
+    committed = (
+        pathlib.Path(__file__).parent.parent.parent
+        / "benchmarks"
+        / "results"
+        / "bench_smoke_sim.json"
+    ).read_text()
+    result = run_suite(suites.combined(None, smoke=True), workers=1)
+    assert result.sim_json() + "\n" == committed
+
+
+def test_cli_list_marks_obs_support(capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "pricing_sweep" in out
+    assert "obs-out: no" in out
+    assert "obs-out: yes" in out

@@ -1,0 +1,72 @@
+"""Deterministic metrics: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("events")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_high_water_mark():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(3)
+    g.set(10)
+    g.set(2)
+    assert g.value == 2
+    assert g.max_value == 10
+
+
+def test_registry_returns_same_instance_and_rejects_type_clash():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_default_buckets_are_a_sorted_decade_ladder():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+    # 1-2-5 per decade
+    assert {1.0, 2.0, 5.0, 10.0} <= set(DEFAULT_BUCKETS)
+
+
+def test_histogram_buckets_count_and_quantile():
+    h = Histogram("t", bounds=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == pytest.approx(555.5)
+    assert h.min == 0.5
+    assert h.max == 500.0
+    # overflow bucket holds the 500.0
+    assert h.bucket_counts == [1, 1, 1, 1]
+    # p50 lands in the second bucket -> its upper bound
+    assert h.quantile(0.5) == 10.0
+    # overflow bucket reports the observed max, not infinity
+    assert h.quantile(1.0) == 500.0
+
+
+def test_histogram_to_dict_round_trips_by_json():
+    import json
+
+    h = Histogram("t", bounds=(1.0, 2.0))
+    h.observe(1.5)
+    doc = json.loads(json.dumps(h.to_dict()))
+    assert doc["count"] == 1
+    assert doc["type"] == "histogram"
+
+
+def test_registry_to_dict_sorted_by_name():
+    reg = MetricsRegistry()
+    reg.counter("z")
+    reg.counter("a")
+    assert list(reg.to_dict()) == ["a", "z"]

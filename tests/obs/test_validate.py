@@ -1,0 +1,72 @@
+"""Chrome trace schema checker: the CI gate for exported traces."""
+
+import json
+
+from repro.obs import ObsRecorder, chrome_trace
+from repro.obs.validate import check_chrome_trace, main
+
+
+def _valid_doc():
+    rec = ObsRecorder(label="v")
+    rec.finish(rec.start("w", track="a"))
+    return chrome_trace(rec)
+
+
+def test_valid_doc_passes():
+    assert check_chrome_trace(_valid_doc()) == []
+
+
+def test_rejects_non_object_and_missing_events():
+    assert check_chrome_trace([]) != []
+    assert check_chrome_trace({}) != []
+    assert check_chrome_trace({"traceEvents": {}}) != []
+
+
+def test_rejects_unknown_phase_and_bad_fields():
+    doc = _valid_doc()
+    doc["traceEvents"][-1]["ph"] = "Q"
+    assert any("ph" in e for e in check_chrome_trace(doc))
+
+    doc = _valid_doc()
+    doc["traceEvents"][-1]["ts"] = -1.0
+    assert check_chrome_trace(doc) != []
+
+    doc = _valid_doc()
+    doc["traceEvents"][-1]["dur"] = float("nan")
+    assert check_chrome_trace(doc) != []
+
+    doc = _valid_doc()
+    doc["traceEvents"][-1]["pid"] = True  # bool is not an acceptable id
+    assert check_chrome_trace(doc) != []
+
+
+def test_requires_at_least_one_complete_event():
+    doc = _valid_doc()
+    doc["traceEvents"] = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert any("X" in e for e in check_chrome_trace(doc))
+
+
+def test_detects_non_monotone_timestamps_per_track():
+    rec = ObsRecorder(label="v")
+    rec.finish(rec.start("w", track="a"))
+    doc = chrome_trace(rec)
+    doc["traceEvents"].append(
+        dict(doc["traceEvents"][-1], ts=doc["traceEvents"][-1]["ts"] + 5.0)
+    )
+    doc["traceEvents"].append(dict(doc["traceEvents"][-1], ts=0.0))
+    # hand-built out-of-order event on the same (pid, tid)
+    errors = check_chrome_trace(doc)
+    assert any("went backwards" in e for e in errors)
+
+
+def test_cli_main_ok_and_failure(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_valid_doc()))
+    assert main([str(good)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": []}))
+    assert main([str(bad)]) == 1
+
+    assert main([]) == 2

@@ -376,3 +376,42 @@ def test_property_equal_time_events_fifo(pairs):
         by_time.setdefault(t, []).append(i)
     for indices in by_time.values():
         assert indices == sorted(indices)
+
+
+def test_counters_persist_across_run_calls():
+    """events_processed / peak_queue_depth accumulate over staged runs."""
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.call_at(t, lambda: None)
+    sim.run(until=2.0)
+    mid = sim.events_processed
+    assert mid >= 2
+    peak_mid = sim.peak_queue_depth
+    sim.run()
+    assert sim.events_processed > mid  # accumulated, not reset
+    assert sim.peak_queue_depth >= peak_mid
+
+    # a staged scenario reports the same totals as one uninterrupted drain
+    whole = Simulator()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        whole.call_at(t, lambda: None)
+    whole.run()
+    assert sim.events_processed == whole.events_processed
+    assert sim.peak_queue_depth == whole.peak_queue_depth
+
+
+def test_obs_records_one_kernel_run_span_per_call():
+    from repro.obs import ObsRecorder
+
+    sim = Simulator()
+    rec = ObsRecorder(label="k", clock=lambda: sim.now)
+    sim.obs = rec
+    sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)
+    sim.run(until=1.5)
+    sim.run()
+    spans = [s for s in rec.spans if s.name == "kernel.run"]
+    assert len(spans) == 2
+    assert [s.attrs["events"] for s in spans] == [1, 1]
+    assert rec.metrics.counter("kernel.runs").value == 2
+    assert rec.metrics.counter("kernel.events").value == sim.events_processed

@@ -82,6 +82,45 @@ def test_bench_job_runs_pricing_sweep_smoke(workflow):
     assert any("--smoke" in c for c in pricing)
 
 
+def test_bench_job_compares_sim_json_against_committed_baseline(workflow):
+    """Obs-off sim output is pinned byte-for-byte to the repo snapshot."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    assert any(
+        "cmp" in c and "benchmarks/results/bench_smoke_sim.json" in c
+        for c in commands
+    ), "bench-smoke must byte-compare against the committed sim baseline"
+
+
+def test_bench_job_runs_obs_smoke(workflow):
+    """An instrumented sweep runs, leaves sim JSON unchanged, and every
+    exported Chrome trace passes the schema check."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    obs = [c for c in commands if "--obs-out" in c]
+    assert obs, "bench-smoke must run an --obs-out sweep"
+    assert any("cmp" in c and "obs" in c for c in obs), (
+        "the obs-on sim JSON must be byte-compared against the obs-off one"
+    )
+    assert any("repro.obs.validate" in c and "trace.json" in c for c in commands), (
+        "exported traces must be schema-checked"
+    )
+
+
+def test_obs_baseline_is_committed_and_current(workflow):
+    """The committed baseline exists and matches what the code produces."""
+    baseline = (
+        pathlib.Path(__file__).parent.parent
+        / "benchmarks"
+        / "results"
+        / "bench_smoke_sim.json"
+    )
+    assert baseline.exists(), "commit benchmarks/results/bench_smoke_sim.json"
+    import json
+
+    doc = json.loads(baseline.read_text())
+    assert doc["suite"] == "smoke"
+    assert all(t["status"] == "ok" for t in doc["tasks"])
+
+
 def test_bench_job_uploads_suite_artifact(workflow):
     uploads = [
         s for s in _steps(workflow, "bench-smoke")

@@ -36,3 +36,50 @@ def test_deployment_produces_timeline():
     # every bar line has the shared axis width
     lines = art.splitlines()[1:]
     assert len({ln.index("|") for ln in lines}) == 1
+
+
+def test_boot_interval_clamped_when_launch_predates_trace():
+    """An `ec2 running` record with no matching launch still gets a bar."""
+    trace = TraceLog()
+    trace.emit(100.0, "chef", "converge-start", node="n1")
+    trace.emit(130.0, "ec2", "running", instance="i-000001")
+    trace.emit(160.0, "chef", "converge-done", node="n1", duration=60.0)
+    intervals = collect_intervals(trace)
+    boots = [iv for iv in intervals if iv.label == "boot i-000001"]
+    assert len(boots) == 1
+    # clamped to the start of the trace window, not dropped
+    assert boots[0].start == 100.0
+    assert boots[0].end == 130.0
+
+
+def test_globus_tasks_appear_as_go_rows():
+    trace = TraceLog()
+    trace.emit(10.0, "globus", "task-submit", task="go-task-000001", src="a", dst="b")
+    trace.emit(55.0, "globus", "task-done", task="go-task-000001", status="SUCCEEDED")
+    # a done with no submit in the window clamps like the boot case
+    trace.emit(70.0, "globus", "task-done", task="go-task-000002", status="FAILED")
+    intervals = collect_intervals(trace)
+    by_label = {iv.label: iv for iv in intervals}
+    assert by_label["go go-task-000001"].start == 10.0
+    assert by_label["go go-task-000001"].end == 55.0
+    assert by_label["go go-task-000002"].start == 10.0  # trace start
+    art = render_timeline(trace)
+    assert "go go-task-000001" in art
+
+
+def test_collect_intervals_accepts_obs_spans():
+    from repro.obs import ObsRecorder
+
+    clock = {"t": 0.0}
+    rec = ObsRecorder(label="s", clock=lambda: clock["t"])
+    boot = rec.start("ec2.boot", track="ec2/i-1", instance="i-1")
+    clock["t"] = 90.0
+    rec.finish(boot)
+    conv = rec.start("chef.converge", track="chef/n1", node="n1")
+    clock["t"] = 150.0
+    rec.finish(conv)
+    rec.start("chef.recipe", track="chef/n1", recipe="r")  # unfinished: skipped
+    intervals = collect_intervals(rec)
+    assert sorted(iv.label for iv in intervals) == ["boot i-1", "chef n1"]
+    assert {iv.duration_s for iv in intervals} == {90.0, 60.0}
+    assert "boot i-1" in render_timeline(rec)
