@@ -20,7 +20,7 @@ import pathlib
 import sys
 
 from ..obs import chrome_trace, spans_jsonl, summary_table
-from ..simcore import SCHEDULERS, default_scheduler
+from ..simcore import DISPATCH_MODES, SCHEDULERS, default_dispatch, default_scheduler
 from . import suites, trajectory
 from .harness import run_suite
 
@@ -62,6 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
             " 'wheel' (calendar queue); sim JSON is byte-identical under"
             f" either (default: {default_scheduler()!r}, settable via"
             " REPRO_SIM_SCHEDULER)"
+        ),
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=list(DISPATCH_MODES),
+        default=None,
+        help=(
+            "cohort dispatch mode for every task: 'cohort' (struct-of-"
+            "arrays batch pops) or 'scalar' (one event per member, the"
+            " reference path); sim JSON is byte-identical under either"
+            f" (default: {default_dispatch()!r}, settable via"
+            " REPRO_SIM_DISPATCH; see --list for which suites schedule"
+            " cohorts)"
         ),
     )
     parser.add_argument(
@@ -113,7 +126,11 @@ def _list_suites(smoke: bool) -> None:
     for name in suites.names():
         suite = suites.get(name, smoke=smoke)
         obs = "obs-out: yes" if suite.supports_obs else "obs-out: no"
-        print(f"{name}: {suite.description} ({len(suite.specs)} specs, {obs})")
+        cohort = "cohorts: yes" if suite.cohort_eligible else "cohorts: no"
+        print(
+            f"{name}: {suite.description}"
+            f" ({len(suite.specs)} specs, {obs}, {cohort})"
+        )
         for spec in suite.specs:
             print(f"  {spec.name}  [{spec.task}] {spec.params or ''}")
 
@@ -169,11 +186,19 @@ def main(argv: list[str] | None = None) -> int:
             " --obs-out will record no spans",
             file=sys.stderr,
         )
+    if args.dispatch and not suite.cohort_eligible:
+        print(
+            "note: none of the selected suites schedules event cohorts;"
+            " --dispatch will not change anything",
+            file=sys.stderr,
+        )
     mode = f"{args.workers} workers" if args.workers > 1 else "sequential"
     sched = f", scheduler={args.scheduler}" if args.scheduler else ""
+    disp = f", dispatch={args.dispatch}" if args.dispatch else ""
     obs_note = ", obs" if args.obs_out else ""
     print(
-        f"running suite {suite.name!r}: {len(suite.specs)} specs, {mode}{sched}{obs_note}"
+        f"running suite {suite.name!r}: {len(suite.specs)} specs,"
+        f" {mode}{sched}{disp}{obs_note}"
     )
 
     progress = None
@@ -188,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=progress,
         scheduler=args.scheduler,
         obs=args.obs_out is not None,
+        dispatch=args.dispatch,
     )
 
     print()

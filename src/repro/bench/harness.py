@@ -30,6 +30,7 @@ leave the worker, which makes the merged result transport-independent
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import multiprocessing
@@ -40,7 +41,14 @@ from dataclasses import dataclass, field
 
 from ..obs.recorder import capture
 from ..reporting import render_table
-from ..simcore import SCHEDULERS, default_scheduler, set_default_scheduler
+from ..simcore import (
+    DISPATCH_MODES,
+    SCHEDULERS,
+    default_dispatch,
+    default_scheduler,
+    set_default_dispatch,
+    set_default_scheduler,
+)
 
 #: metric keys that legitimately vary between hosts/runs; everything else
 #: in a payload must be byte-identical for a given spec.
@@ -121,6 +129,10 @@ class BenchSuite:
     #: ``gp-bench --obs-out`` only produces trace files for suites that do
     #: (the pricing sweep is a closed-form estimator with no event loop)
     supports_obs: bool = True
+    #: whether the suite's tasks schedule event cohorts, i.e. whether
+    #: ``gp-bench --dispatch`` changes anything for them (same carve-out:
+    #: the pricing sweep never enters the event loop)
+    cohort_eligible: bool = True
 
     def config_digest(self) -> str:
         return config_digest(self.specs)
@@ -178,6 +190,10 @@ class SuiteResult:
     #: but deliberately absent from :meth:`sim_dict` — the schedulers are
     #: equivalent, so the determinism pin must not depend on the choice.
     scheduler: str = "heap"
+    #: cohort dispatch mode the tasks ran under; same contract as
+    #: ``scheduler`` — reported in :meth:`to_dict`, absent from
+    #: :meth:`sim_dict` (scalar and cohort dispatch are byte-equivalent).
+    dispatch: str = "cohort"
 
     @property
     def ok(self) -> bool:
@@ -197,6 +213,7 @@ class SuiteResult:
             "suite": self.suite,
             "workers": self.workers,
             "scheduler": self.scheduler,
+            "dispatch": self.dispatch,
             "config_digest": self.config_digest(),
             "wall_seconds": self.wall_seconds,
             "counts": self.counts(),
@@ -275,23 +292,41 @@ def _strip_host_dependent(obj):
 
 
 def _execute(
-    spec: BenchSpec, scheduler: str | None = None, obs: bool = False
+    spec: BenchSpec,
+    scheduler: str | None = None,
+    obs: bool = False,
+    dispatch: str | None = None,
 ) -> tuple[str, dict | None, float, str | None, list[dict] | None]:
     """Run one spec in the current process; exceptions become records.
 
     ``scheduler`` pins the kernel's default scheduler for the duration
     of the task (restored afterwards), so every simulation the task
     builds — tasks construct their own ``SimContext`` — runs under it.
+    ``dispatch`` pins the cohort dispatch mode (``"scalar"`` or
+    ``"cohort"``) the same way.
 
     ``obs=True`` wraps the task in an ``obs.capture()`` block, so those
     same simulations each record spans/metrics; the exported docs ride
     back as the fifth tuple element, relabelled ``<spec name>:<label>``
     so merged suite traces stay unambiguous.
     """
+    # Settle deferred garbage from the previous task, then keep the
+    # cyclic collector paused for this one (the kernel already pauses it
+    # per drain): each task's wall clock measures its own work, not a
+    # predecessor's cleanup or mid-run gen-0 sweeps.  Generations 0-1
+    # suffice — with the collector paused during tasks, a task's garbage
+    # is never promoted past gen 1 — and cost microseconds where a full
+    # collect scans the whole heap (~tens of ms under these imports).
+    gc.collect(1)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
     t0 = time.perf_counter()
     try:
         fn = resolve_task(spec.task)
         previous = set_default_scheduler(scheduler) if scheduler is not None else None
+        prev_dispatch = (
+            set_default_dispatch(dispatch) if dispatch is not None else None
+        )
         cap = None
         try:
             if obs:
@@ -302,6 +337,8 @@ def _execute(
         finally:
             if previous is not None:
                 set_default_scheduler(previous)
+            if prev_dispatch is not None:
+                set_default_dispatch(prev_dispatch)
         # canonicalize so in-process and piped results merge identically
         payload = json.loads(json.dumps(payload))
         docs = None
@@ -311,21 +348,28 @@ def _execute(
         return "ok", payload, time.perf_counter() - t0, None, docs
     except Exception:
         return "failed", None, time.perf_counter() - t0, traceback.format_exc(), None
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
 
 def run_spec(
-    spec: BenchSpec, scheduler: str | None = None, obs: bool = False
+    spec: BenchSpec,
+    scheduler: str | None = None,
+    obs: bool = False,
+    dispatch: str | None = None,
 ) -> TaskResult:
     """In-process execution of a single spec (the drivers' entry point)."""
-    return TaskResult(spec, *_execute(spec, scheduler, obs))
+    return TaskResult(spec, *_execute(spec, scheduler, obs, dispatch))
 
 
 def _worker_main(conn) -> None:
     """Persistent worker loop: recv a spec dict, send a result tuple.
 
-    The spec dict may carry a ``scheduler`` key (the harness's
-    ``--scheduler`` plumbing); it rides alongside the spec fields so the
-    pipe protocol stays one flat dict each way.
+    The spec dict may carry ``scheduler``/``dispatch`` keys (the
+    harness's ``--scheduler``/``--dispatch`` plumbing); they ride
+    alongside the spec fields so the pipe protocol stays one flat dict
+    each way.
     """
     from . import suites  # noqa: F401  (registers tasks under spawn)
 
@@ -337,10 +381,11 @@ def _worker_main(conn) -> None:
         if doc is None:
             break
         scheduler = doc.pop("scheduler", None)
+        dispatch = doc.pop("dispatch", None)
         obs = doc.pop("obs", False)
         spec = BenchSpec.from_dict(doc)
         try:
-            conn.send(_execute(spec, scheduler, obs))
+            conn.send(_execute(spec, scheduler, obs, dispatch))
         except Exception:
             try:
                 conn.send(("failed", None, 0.0, traceback.format_exc(), None))
@@ -370,11 +415,18 @@ class _Worker:
         return self.current is not None
 
     def assign(
-        self, idx: int, spec: BenchSpec, scheduler: str | None, obs: bool = False
+        self,
+        idx: int,
+        spec: BenchSpec,
+        scheduler: str | None,
+        obs: bool = False,
+        dispatch: str | None = None,
     ) -> None:
         doc = spec.to_dict()
         if scheduler is not None:
             doc["scheduler"] = scheduler
+        if dispatch is not None:
+            doc["dispatch"] = dispatch
         if obs:
             doc["obs"] = True
         self.conn.send(doc)
@@ -403,7 +455,9 @@ class _Worker:
             self.proc.join(timeout=1.0)
 
 
-def _run_pool(specs, workers, default_timeout_s, start_method, progress, scheduler, obs):
+def _run_pool(
+    specs, workers, default_timeout_s, start_method, progress, scheduler, obs, dispatch
+):
     ctx = multiprocessing.get_context(start_method or default_start_method())
     n_workers = max(1, min(workers, len(specs)))
     pool: list[_Worker | None] = [_Worker(ctx) for _ in range(n_workers)]
@@ -432,7 +486,7 @@ def _run_pool(specs, workers, default_timeout_s, start_method, progress, schedul
                     continue
                 idx, spec = pending.popleft()
                 try:
-                    w.assign(idx, spec, scheduler, obs)
+                    w.assign(idx, spec, scheduler, obs, dispatch)
                 except (BrokenPipeError, OSError):
                     # died idle; put the spec back and respawn the slot
                     pending.appendleft((idx, spec))
@@ -498,6 +552,7 @@ def run_suite(
     progress=None,
     scheduler: str | None = None,
     obs: bool = False,
+    dispatch: str | None = None,
 ) -> SuiteResult:
     """Execute every spec and merge the results deterministically.
 
@@ -509,6 +564,10 @@ def run_suite(
     ``"wheel"``) for every task; the schedulers are pop-order
     equivalent, so ``sim_json()`` is byte-identical under either.
 
+    ``dispatch`` selects the cohort dispatch mode (``"scalar"`` or
+    ``"cohort"``) the same way; the modes are apply-order equivalent,
+    so ``sim_json()`` is byte-identical under either.
+
     ``obs=True`` records spans/metrics inside every task (see
     :mod:`repro.obs`); the docs land on each :class:`TaskResult`'s
     ``obs`` field and leave payloads and ``sim_json()`` untouched.
@@ -517,11 +576,15 @@ def run_suite(
         raise ValueError(
             f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
         )
+    if dispatch is not None and dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {dispatch!r}; expected one of {DISPATCH_MODES}"
+        )
     t0 = time.perf_counter()
     if workers <= 1:
         results = []
         for spec in suite.specs:
-            result = run_spec(spec, scheduler, obs)
+            result = run_spec(spec, scheduler, obs, dispatch)
             results.append(result)
             if progress is not None:
                 progress(result)
@@ -534,6 +597,7 @@ def run_suite(
             progress,
             scheduler,
             obs,
+            dispatch,
         )
     wall = time.perf_counter() - t0
     return SuiteResult(
@@ -542,4 +606,5 @@ def run_suite(
         wall,
         list(results),
         scheduler if scheduler is not None else default_scheduler(),
+        dispatch if dispatch is not None else default_dispatch(),
     )

@@ -22,6 +22,7 @@ produce byte-identical simulation metrics; only ``wall_seconds`` and
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from dataclasses import asdict, dataclass
@@ -119,35 +120,45 @@ def run(config: ScaleConfig = FULL_CONFIG) -> ScaleResult:
     )
     _stage_inputs(bed, config)
 
-    wall_start = time.perf_counter()
-    deploy_proc = bed.ctx.sim.process(deployer.deploy(topology), name="deploy")
-    deployment = bed.run(until=deploy_proc)
-    deploy_sim_seconds = bed.now
+    # Measure with the cyclic collector paused (as ``timeit`` does): the
+    # kernel pauses it per drain anyway, but keeping it off across the
+    # whole timed region stops deploy-phase garbage from being collected
+    # inside the load phase's measurement.  Restored before returning.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        wall_start = time.perf_counter()
+        deploy_proc = bed.ctx.sim.process(deployer.deploy(topology), name="deploy")
+        deployment = bed.run(until=deploy_proc)
+        deploy_sim_seconds = bed.now
 
-    def scenario(ctx):
-        tasks = []
-        for i in range(config.transfers):
-            spec = TransferSpec(
-                source_endpoint=CVRG_DATA_ENDPOINT,
-                dest_endpoint=deployment.endpoint_name,
-                items=[TransferItem(_input_path(i), _input_path(i))],
-                label=f"scale-{i:04d}",
-                notify=False,
-            )
-            tasks.append(bed.go.submit("boliu", spec))
-        pool = deployment.pool
-        jobs = [
-            pool.submit(cpu_work=_job_work(config, i), owner=f"user{i % 8}")
-            for i in range(config.jobs)
-        ]
-        waits = [bed.go.when_done(t) for t in tasks]
-        waits += [pool.when_done(j) for j in jobs]
-        yield ctx.sim.all_of(waits)
-        return tasks, jobs
+        def scenario(ctx):
+            tasks = []
+            for i in range(config.transfers):
+                spec = TransferSpec(
+                    source_endpoint=CVRG_DATA_ENDPOINT,
+                    dest_endpoint=deployment.endpoint_name,
+                    items=[TransferItem(_input_path(i), _input_path(i))],
+                    label=f"scale-{i:04d}",
+                    notify=False,
+                )
+                tasks.append(bed.go.submit("boliu", spec))
+            pool = deployment.pool
+            jobs = [
+                pool.submit(cpu_work=_job_work(config, i), owner=f"user{i % 8}")
+                for i in range(config.jobs)
+            ]
+            waits = [bed.go.when_done(t) for t in tasks]
+            waits += [pool.when_done(j) for j in jobs]
+            yield ctx.sim.all_of(waits)
+            return tasks, jobs
 
-    proc = bed.ctx.sim.process(scenario(bed.ctx), name="scale-load")
-    tasks, jobs = bed.run(until=proc)
-    wall = time.perf_counter() - wall_start
+        proc = bed.ctx.sim.process(scenario(bed.ctx), name="scale-load")
+        tasks, jobs = bed.run(until=proc)
+        wall = time.perf_counter() - wall_start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     sim = bed.ctx.sim
     return ScaleResult(

@@ -212,6 +212,8 @@ class MockEC2:
             )
         itype = resolve(instance_type)
         out = []
+        boot_times = []
+        now = self.ctx.now
         for _ in range(count):
             self._counter += 1
             iid = f"i-{self._counter:08x}"
@@ -220,7 +222,7 @@ class MockEC2:
                 ami=self.images[ami_id],
                 itype=itype,
                 keypair=keypair,
-                launch_time=self.ctx.now,
+                launch_time=now,
                 tags=dict(tags or {}),
                 private_dns=f"ip-10-0-{(self._counter >> 8) & 255}-{self._counter & 255}",
                 public_dns=f"ec2-{self._counter}.compute-1.example.com",
@@ -234,9 +236,34 @@ class MockEC2:
                     "ec2.boot", track=f"ec2/{iid}", instance=iid, type=itype.name
                 )
                 obs.counter("ec2.launches").inc()
-            self.ctx.sim.call_in(self._boot_delay(itype), lambda i=inst: self._enter_running(i))
+            # jitter draws stay in creation order (one RNG draw per instance)
+            boot_times.append(now + self._boot_delay(itype))
             out.append(inst)
+        # One boot cohort per API call: with zero jitter a whole batch
+        # shares a timestamp and enters RUNNING as a single slice.
+        self.ctx.sim.schedule_cohort(
+            boot_times, self._boot_apply, payload=list(out), layer="ec2.boot"
+        )
         return out
+
+    def _boot_apply(self, cohort, start: int, stop: int) -> None:
+        payload = cohort.payload
+        if stop - start > 1:
+            # Whole same-instant slice: open the billing intervals as one
+            # batch (they are all the same instance type by construction),
+            # then finish each instance's state transition.
+            batch = [
+                i for i in payload[start:stop] if i.state is InstanceState.PENDING
+            ]
+            if batch:
+                self.meter.start_batch(
+                    (i.id for i in batch), batch[0].instance_type, self.ctx.now
+                )
+            for inst in batch:
+                self._enter_running(inst, _metered=True)
+            return
+        for k in range(start, stop):
+            self._enter_running(payload[k])
 
     def _boot_delay(self, itype: InstanceType, fraction: float = 1.0) -> float:
         base = itype.boot_latency_s * fraction
@@ -245,11 +272,12 @@ class MockEC2:
         jitter = self.ctx.stream("ec2.boot").normal(0.0, self.boot_jitter)
         return max(1.0, base * (1.0 + float(jitter)))
 
-    def _enter_running(self, inst: EC2Instance) -> None:
+    def _enter_running(self, inst: EC2Instance, _metered: bool = False) -> None:
         if inst.state not in (InstanceState.PENDING,):
             return  # terminated while booting
         inst.state = InstanceState.RUNNING
-        self.meter.start(inst.id, inst.instance_type, self.ctx.now)
+        if not _metered:  # a batched boot slice already opened the interval
+            self.meter.start(inst.id, inst.instance_type, self.ctx.now)
         self.ctx.log("ec2", "running", instance=inst.id)
         span = self._boot_spans.pop(inst.id, None)
         if span is not None:

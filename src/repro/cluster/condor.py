@@ -23,7 +23,7 @@ from heapq import merge as _heapq_merge
 from typing import Any, Callable, Optional
 
 from .. import calibration
-from ..simcore import LAZY, Interrupt, SimContext, SimEvent
+from ..simcore import LAZY, SimContext, SimEvent
 from .node import ClusterNode
 
 Requirements = Callable[["MachineAd"], bool]
@@ -96,14 +96,23 @@ class CondorJob:
 
 
 class Startd:
-    """Machine daemon executing claimed jobs, one per slot."""
+    """Machine daemon executing claimed jobs, one per slot.
+
+    Completions are *not* per-job processes: the negotiation cycle that
+    claimed a batch of jobs registers their finish times as one event
+    cohort, and :meth:`_finish_job` runs as that cohort's apply.  Each
+    claim draws a sequence token; eviction / ``condor_rm`` bumps the
+    slot's token so a stale completion timer no-ops instead of being
+    interrupted.
+    """
 
     def __init__(self, ctx: SimContext, machine: MachineAd) -> None:
         self.ctx = ctx
         self.machine = machine
         self.busy: dict[int, CondorJob] = {}  # slot id -> job
         self.draining = False
-        self._run_procs: dict[int, Any] = {}
+        self._claims: dict[int, int] = {}  # slot id -> claim sequence token
+        self._claim_seq = 0
         self._drained_event: Optional[SimEvent] = None
         #: owning pool; keeps the pool's free-slot index current
         self.pool: Optional["CondorPool"] = None
@@ -114,13 +123,23 @@ class Startd:
             return 0
         return self.machine.cores - len(self.busy)
 
-    def claim(self, job: CondorJob, pool: "CondorPool") -> None:
+    def claim(self, job: CondorJob, pool: "CondorPool") -> tuple[int, int, float]:
+        """Assign ``job`` to a free slot; returns (slot, token, finish time).
+
+        The caller (the negotiation cycle) is responsible for scheduling
+        the completion — normally as one member of the cycle's cohort —
+        and for removing the job from the schedd's idle queue
+        (``_job_left_queue``) once its scan is over, which lets the scan
+        iterate the queue without copying it.
+        """
         if self.free_slots < 1:
             raise CondorError(f"{self.machine.name} has no free slot")
-        slot = next(i for i in range(self.machine.cores) if i not in self.busy)
-        self.busy[slot] = job
+        busy = self.busy
+        slot = 0
+        while slot in busy:  # lowest free slot; free_slots >= 1 bounds it
+            slot += 1
+        busy[slot] = job
         job.state = JobState.RUNNING
-        pool.schedd._job_left_queue(job)
         job.start_time = self.ctx.now
         job.machine_name = self.machine.name
         self.ctx.log(
@@ -134,48 +153,23 @@ class Startd:
             obs.histogram("condor.queue_wait_s").observe(
                 self.ctx.now - job.submit_time
             )
-        self._run_procs[slot] = self.ctx.sim.process(
-            self._run(slot, job, pool), name=f"startd-{self.machine.name}-{slot}"
-        )
+        self._claim_seq += 1
+        self._claims[slot] = self._claim_seq
         pool._update_free(self)
-
-    def _run(self, slot: int, job: CondorJob, pool: "CondorPool"):
         duration = (
             job.cpu_work / self.machine.cpu_factor
             + job.io_work / self.machine.io_factor
         )
-        try:
-            yield self.ctx.sim.timeout(duration)
-        except Interrupt:
-            del self.busy[slot]
-            self._run_procs.pop(slot, None)
-            pool._update_free(self)
-            obs = self.ctx.obs
-            if job.state == JobState.REMOVED:
-                # condor_rm while running: free the slot, nothing to rematch
-                self.ctx.log("condor", "removed", job=job.id, machine=self.machine.name)
-                if obs.enabled:
-                    obs.finish_open(
-                        f"condor/job-{job.id}", status="cancelled", error="condor_rm"
-                    )
-            else:
-                # Evicted: job goes back to idle for rematching.
-                job.state = JobState.IDLE
-                pool.schedd._job_requeued(job)
-                job.machine_name = None
-                job.start_time = None
-                job.evictions += 1
-                self.ctx.log("condor", "evict", job=job.id, machine=self.machine.name)
-                if obs.enabled:
-                    track = f"condor/job-{job.id}"
-                    obs.finish_open(track, status="error", error="evicted")
-                    obs.start("condor.wait", track=track, job=job.id, requeued=True)
-                    obs.counter("condor.evictions").inc()
-            pool._wake_negotiator()
-            self._check_drained()
-            return
+        return slot, self._claim_seq, self.ctx.now + duration
+
+    def _finish_job(
+        self, slot: int, token: int, job: CondorJob, pool: "CondorPool"
+    ) -> None:
+        """Completion-cohort apply for one claim (skips superseded claims)."""
+        if self._claims.get(slot) != token:
+            return  # evicted or condor_rm'd; the slot moved on
         del self.busy[slot]
-        self._run_procs.pop(slot, None)
+        del self._claims[slot]
         pool._update_free(self)
         job.state = JobState.COMPLETED
         job.end_time = self.ctx.now
@@ -191,9 +185,43 @@ class Startd:
         pool._job_finished(job)
         self._check_drained()
 
+    def _abort(self, slot: int, job: CondorJob, pool: "CondorPool") -> None:
+        """Free a claimed slot before completion (evict or ``condor_rm``).
+
+        Bumping the claim token is what cancels the pending completion:
+        its cohort member fires on schedule and no-ops on the mismatch.
+        """
+        del self.busy[slot]
+        self._claims.pop(slot, None)
+        pool._update_free(self)
+        obs = self.ctx.obs
+        if job.state == JobState.REMOVED:
+            # condor_rm while running: free the slot, nothing to rematch
+            self.ctx.log("condor", "removed", job=job.id, machine=self.machine.name)
+            if obs.enabled:
+                obs.finish_open(
+                    f"condor/job-{job.id}", status="cancelled", error="condor_rm"
+                )
+        else:
+            # Evicted: job goes back to idle for rematching.
+            job.state = JobState.IDLE
+            pool.schedd._job_requeued(job)
+            job.machine_name = None
+            job.start_time = None
+            job.evictions += 1
+            self.ctx.log("condor", "evict", job=job.id, machine=self.machine.name)
+            if obs.enabled:
+                track = f"condor/job-{job.id}"
+                obs.finish_open(track, status="error", error="evicted")
+                obs.start("condor.wait", track=track, job=job.id, requeued=True)
+                obs.counter("condor.evictions").inc()
+        pool._wake_negotiator()
+        self._check_drained()
+
     def evict_all(self) -> None:
-        for proc in list(self._run_procs.values()):
-            proc.interrupt("machine removed")
+        pool = self.pool
+        for slot, job in sorted(self.busy.items()):
+            self._abort(slot, job, pool)
 
     def drain(self) -> SimEvent:
         """Stop matching new jobs; event fires when the last job finishes."""
@@ -282,17 +310,35 @@ class Schedd:
 
     def idle_jobs_of(self, owner: str) -> list[CondorJob]:
         """One owner's idle jobs in (submit_time, id) order."""
+        return list(self.iter_idle_of(owner))
+
+    def iter_idle(self):
+        """Live (submit_time, id)-ordered view of the idle queue.
+
+        No copy is made: callers must not submit, requeue, or remove
+        idle jobs while iterating (the negotiation cycle defers its
+        queue removals to the end of the scan for exactly this reason).
+        """
+        if self._idle_dirty:
+            ordered = sorted(
+                self._idle.values(), key=lambda j: (j.submit_time, j.id)
+            )
+            self._idle = {j.id: j for j in ordered}
+            self._idle_dirty = False
+        return self._idle.values()
+
+    def iter_idle_of(self, owner: str):
+        """Live ordered view of one owner's idle jobs (see :meth:`iter_idle`)."""
         bucket = self._idle_by_owner.get(owner)
         if not bucket:
-            return []
+            return ()
         if owner in self._dirty_owners:
             ordered = sorted(
                 bucket.values(), key=lambda j: (j.submit_time, j.id)
             )
-            self._idle_by_owner[owner] = {j.id: j for j in ordered}
+            bucket = self._idle_by_owner[owner] = {j.id: j for j in ordered}
             self._dirty_owners.discard(owner)
-            return ordered
-        return list(bucket.values())
+        return bucket.values()
 
     def remove(self, job_id: int) -> None:
         job = self.jobs.get(job_id)
@@ -324,9 +370,14 @@ class CondorPool:
         #: index of machines with at least one free slot, so negotiation
         #: never scans fully-loaded startds (name -> Startd)
         self._free: dict[str, Startd] = {}
-        self._kick: Optional[SimEvent] = None
         self._stopped = False
-        self._negotiator = ctx.sim.process(self._negotiate_loop(), name="negotiator")
+        #: a LAZY wake event is armed (coalesces same-timestamp kicks)
+        self._wake_armed = False
+        #: cycle generation; an interval tick armed by an older cycle
+        #: finds the counter moved on and no-ops (a kick beat it)
+        self._gen = 0
+        # Boot cycle: coalesces with same-timestamp add/submit kicks.
+        self._wake_negotiator()
 
     # -- pool membership -----------------------------------------------------
     def add_node(self, node: ClusterNode, cores: Optional[int] = None) -> Startd:
@@ -433,7 +484,7 @@ class CondorPool:
             for startd in self.startds.values():
                 for slot, running in list(startd.busy.items()):
                     if running is job:
-                        startd._run_procs[slot].interrupt("condor_rm")
+                        startd._abort(slot, job, self)
         else:
             # idle: the running case closes its spans on interrupt delivery
             self.ctx.obs.finish_open(
@@ -478,29 +529,51 @@ class CondorPool:
         self._wake_negotiator()
 
     def _wake_negotiator(self) -> None:
-        # LAZY priority defers the wake-up until every ordinary event at
-        # this timestamp has drained, so a burst of same-time completions
-        # and submissions coalesces into a single negotiation cycle (the
-        # `triggered` guard makes the extra kicks free).
-        if self._kick is not None and not self._kick.triggered:
-            self._kick.succeed(priority=LAZY)
+        # The negotiator is callback-driven (no resident process): a wake
+        # arms one LAZY event, which defers the cycle until every
+        # ordinary event at this timestamp has drained, so a burst of
+        # same-time completions and submissions coalesces into a single
+        # negotiation cycle (the armed flag makes the extra kicks free).
+        if self._wake_armed or self._stopped:
+            return
+        self._wake_armed = True
+        ev = SimEvent(self.ctx.sim)
+        ev.callbacks.append(self._on_wake)
+        ev.succeed(priority=LAZY)
 
-    def _negotiate_loop(self):
-        while not self._stopped:
-            self._negotiation_cycle()
-            self._kick = self.ctx.sim.event()
-            if self.schedd.has_idle():
-                # Unmatched work pending: retry next cycle, or earlier on a
-                # submission/join/slot-free kick.
-                yield self.ctx.sim.any_of(
-                    [self.ctx.sim.timeout(self.interval), self._kick]
-                )
-            else:
-                # Nothing to match: sleep until kicked.  Crucially this
-                # leaves no timer on the queue, so an idle simulation can
-                # drain to completion.
-                yield self._kick
-        self._kick = None
+    def _on_wake(self, _ev: SimEvent) -> None:
+        self._wake_armed = False
+        if not self._stopped:
+            self._run_cycle()
+
+    def _run_cycle(self) -> None:
+        self._gen += 1
+        self._negotiation_cycle()
+        if self.schedd.has_idle() and not self._stopped:
+            # Unmatched work pending: retry next cycle, or earlier on a
+            # submission/join/slot-free kick.  When nothing is idle no
+            # timer is armed, so an idle simulation can drain to
+            # completion.  The tick is a one-member cohort; its apply
+            # re-arms the LAZY wake so the cycle still runs after every
+            # ordinary event of its timestamp.
+            self.ctx.sim.schedule_cohort(
+                (self.ctx.now + self.interval,),
+                self._tick_apply,
+                payload=self._gen,
+                layer="condor.tick",
+            )
+
+    def _tick_apply(self, cohort, start: int, stop: int) -> None:
+        if cohort.payload == self._gen:
+            self._wake_negotiator()
+        # else: a kick already ran a newer cycle (which armed its own
+        # tick if needed); the stale timer dies here.
+
+    def _complete_apply(self, cohort, start: int, stop: int) -> None:
+        payload = cohort.payload
+        for k in range(start, stop):
+            startd, slot, token, job = payload[k]
+            startd._finish_job(slot, token, job, self)
 
     def _match_order(self):
         """Idle jobs in fair-share order, lazily, from per-owner buckets.
@@ -522,12 +595,13 @@ class CondorPool:
         for used in sorted(groups):
             owners = groups[used]
             if len(owners) == 1:
-                # claim() mutates the bucket mid-iteration; idle_jobs_of
-                # returns a copy, so the walk is safe.
-                yield from schedd.idle_jobs_of(owners[0])
+                # Live views, no copies: the cycle defers its queue
+                # removals until the scan is over, so the buckets do not
+                # change under the iterators.
+                yield from schedd.iter_idle_of(owners[0])
             else:
                 yield from _heapq_merge(
-                    *(schedd.idle_jobs_of(o) for o in owners),
+                    *(schedd.iter_idle_of(o) for o in owners),
                     key=lambda j: (j.submit_time, j.id),
                 )
 
@@ -537,25 +611,44 @@ class CondorPool:
             obs.counter("condor.negotiation_cycles").inc()
         if not self._free:
             return  # every slot is claimed; nothing can match
-        idle = self._match_order() if self.fair_share else self.schedd.idle_jobs()
+        idle = self._match_order() if self.fair_share else self.schedd.iter_idle()
         matched = 0
+        finish_times: list[float] = []
+        claims: list[tuple[Startd, int, int, CondorJob]] = []
         for job in idle:
             if not self._free:
                 break  # the cycle itself consumed the last free slot
-            # the free-slot check tolerates entries staled by a drain
-            candidates = [
-                s
-                for s in self._free.values()
-                if s.free_slots > 0 and job.matches(s.machine)
-            ]
-            if not candidates:
+            # the free-slot check tolerates entries staled by a drain;
+            # one fused pass picks the best-ranked candidate (first wins
+            # ties, matching max() over the old materialized list)
+            best = None
+            best_key = None
+            for s in self._free.values():
+                if s.free_slots > 0 and job.matches(s.machine):
+                    key = (job.rank_of(s.machine), -len(s.busy), s.machine.name)
+                    if best is None or key > best_key:
+                        best = s
+                        best_key = key
+            if best is None:
                 continue
-            best = max(
-                candidates,
-                key=lambda s: (job.rank_of(s.machine), -len(s.busy), s.machine.name),
-            )
-            best.claim(job, self)
+            slot, token, finish = best.claim(job, self)
+            finish_times.append(finish)
+            claims.append((best, slot, token, job))
             matched += 1
+        if matched:
+            # The scan iterated live queue views; now that it is over,
+            # retire the claimed jobs from the idle queue in one pass.
+            schedd = self.schedd
+            for _startd, _slot, _token, job in claims:
+                schedd._job_left_queue(job)
+            # One struct-of-arrays cohort per cycle: every claim's
+            # completion timer in match order.
+            self.ctx.sim.schedule_cohort(
+                finish_times,
+                self._complete_apply,
+                payload=claims,
+                layer="condor.complete",
+            )
         if obs.enabled and matched:
             obs.instant("condor.negotiate", track="condor", matched=matched)
             obs.counter("condor.matches").inc(matched)

@@ -15,6 +15,7 @@ Public API::
 """
 
 from .calendar import CalendarQueue
+from .cohort import COHORT_SIZE_BUCKETS, EventCohort
 from .context import SimContext, TraceLog, TraceRecord
 from .errors import (
     EmptySchedule,
@@ -24,7 +25,15 @@ from .errors import (
     UntriggeredEvent,
 )
 from .events import LAZY, NORMAL, URGENT, AllOf, AnyOf, SimEvent, Timeout
-from .kernel import SCHEDULERS, Simulator, default_scheduler, set_default_scheduler
+from .kernel import (
+    DISPATCH_MODES,
+    SCHEDULERS,
+    Simulator,
+    default_dispatch,
+    default_scheduler,
+    set_default_dispatch,
+    set_default_scheduler,
+)
 from .process import Process
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import RandomStreams
@@ -32,9 +41,12 @@ from .rng import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "COHORT_SIZE_BUCKETS",
     "CalendarQueue",
     "Container",
+    "DISPATCH_MODES",
     "EmptySchedule",
+    "EventCohort",
     "Interrupt",
     "LAZY",
     "NORMAL",
@@ -55,6 +67,8 @@ __all__ = [
     "TraceRecord",
     "URGENT",
     "UntriggeredEvent",
+    "default_dispatch",
     "default_scheduler",
+    "set_default_dispatch",
     "set_default_scheduler",
 ]

@@ -461,28 +461,35 @@ class CalendarQueue:
         best = self._overflow_min
         if segment and segment[-1][0] < best:
             best = segment[-1][0]
-        if best >= _TIME_CEILING:
-            # No representable day can anchor the window (t=inf, or the
-            # tick computation would overflow a float).  Endgame mode:
-            # the remaining entries become the run and the window moves
-            # to infinity, so any later push bisects into the run and
-            # ordering still holds — O(run) inserts, but this tail is
-            # astronomically far from any simulated workload.
-            tail = self._overflow
-            tail.extend(segment)
-            tail.sort(reverse=True)
-            self._run.extend(tail)
-            self._overflow = []
-            self._overflow_min = inf
-            segment.clear()
-            self._limit_time = inf
-            self._horizon_time = inf
-            return
-        self._limit_tick = int(best * self._inv_width)
-        self._limit_time = self._limit_tick * self._width
-        self._horizon_time = (self._limit_tick + self._nbuckets) * self._width
-        if self._overflow and self._overflow_min < self._horizon_time:
-            self._repatriate()
+        if best < _TIME_CEILING:
+            tick = int(best * self._inv_width)
+            horizon_t = (tick + self._nbuckets) * self._width
+            if horizon_t > best:
+                self._limit_tick = tick
+                self._limit_time = tick * self._width
+                self._horizon_time = horizon_t
+                if self._overflow and self._overflow_min < horizon_t:
+                    self._repatriate()
+                return
+            # fall through: ``best`` is so large that one ring revolution
+            # rounds to zero days (``tick * width + nbuckets * width ==
+            # tick * width`` in floats) — no window can ever cover it.
+        # No representable day can anchor the window (t=inf, the tick
+        # computation would overflow a float, or the window width rounds
+        # away at this magnitude).  Endgame mode: the remaining entries
+        # become the run and the window moves to infinity, so any later
+        # push bisects into the run and ordering still holds — O(run)
+        # inserts, but this tail is astronomically far from any simulated
+        # workload.
+        tail = self._overflow
+        tail.extend(segment)
+        tail.sort(reverse=True)
+        self._run.extend(tail)
+        self._overflow = []
+        self._overflow_min = inf
+        segment.clear()
+        self._limit_time = inf
+        self._horizon_time = inf
 
     def _resize(self, grow: bool) -> None:
         """Rebuild the ring at a new size/width (load-factor thresholds).

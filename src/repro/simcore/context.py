@@ -28,18 +28,38 @@ class TraceRecord:
 
 
 class TraceLog:
-    """In-memory structured log with optional live subscribers."""
+    """In-memory structured log with optional live subscribers.
+
+    Storage is struct-of-arrays style: ``emit`` appends a plain tuple
+    (simulations log tens of thousands of records on hot paths, and a
+    tuple append is several times cheaper than a dataclass construction);
+    :class:`TraceRecord` objects are materialized lazily — and cached —
+    the first time :attr:`records` is read.  Live subscribers force the
+    record into existence at emit time, so they see the same objects.
+    """
 
     def __init__(self) -> None:
-        self.records: list[TraceRecord] = []
+        self._rows: list[tuple[float, str, str, dict[str, Any]]] = []
+        self._records: list[TraceRecord] = []
         self._subscribers: list[Callable[[TraceRecord], None]] = []
 
-    def emit(self, time: float, source: str, kind: str, **detail: Any) -> TraceRecord:
-        rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
-        self.records.append(rec)
-        for sub in self._subscribers:
-            sub(rec)
-        return rec
+    @property
+    def records(self) -> list[TraceRecord]:
+        recs = self._records
+        rows = self._rows
+        if len(recs) < len(rows):
+            recs.extend(
+                TraceRecord(time=t, source=s, kind=k, detail=d)
+                for t, s, k, d in rows[len(recs):]
+            )
+        return recs
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        self._rows.append((time, source, kind, detail))
+        if self._subscribers:
+            rec = self.records[-1]
+            for sub in self._subscribers:
+                sub(rec)
 
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         self._subscribers.append(fn)
@@ -61,10 +81,13 @@ class SimContext:
         seed: int = 0,
         initial_time: float = 0.0,
         scheduler: str | None = None,
+        dispatch: str | None = None,
         obs: object = None,
     ) -> None:
         self.seed = seed
-        self.sim = Simulator(initial_time=initial_time, scheduler=scheduler)
+        self.sim = Simulator(
+            initial_time=initial_time, scheduler=scheduler, dispatch=dispatch
+        )
         self.rng = RandomStreams(seed)
         self.trace = TraceLog()
         #: observability recorder (see :mod:`repro.obs`): pass an
@@ -82,5 +105,5 @@ class SimContext:
     def stream(self, name: str) -> np.random.Generator:
         return self.rng.stream(name)
 
-    def log(self, source: str, kind: str, **detail: Any) -> TraceRecord:
-        return self.trace.emit(self.sim.now, source, kind, **detail)
+    def log(self, source: str, kind: str, **detail: Any) -> None:
+        self.trace.emit(self.sim.now, source, kind, **detail)

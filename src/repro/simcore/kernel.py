@@ -51,6 +51,7 @@ Per-simulator counters (:attr:`Simulator.events_processed`,
 
 from __future__ import annotations
 
+import gc
 import os
 from collections import deque
 from heapq import heapify, heappop, heappush
@@ -59,6 +60,7 @@ from typing import Callable, Optional
 
 from ..obs.recorder import NULL_RECORDER
 from .calendar import CalendarQueue
+from .cohort import EventCohort
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import LAZY, NORMAL, URGENT, AllOf, AnyOf, SimEvent, Timeout
 from .process import Process, ProcessGenerator
@@ -69,14 +71,24 @@ __all__ = [
     "NORMAL",
     "LAZY",
     "SCHEDULERS",
+    "DISPATCH_MODES",
     "default_scheduler",
     "set_default_scheduler",
+    "default_dispatch",
+    "set_default_dispatch",
 ]
 
 #: timer-store implementations selectable via ``Simulator(scheduler=...)``
 SCHEDULERS = ("heap", "wheel")
 
 _default_scheduler = os.environ.get("REPRO_SIM_SCHEDULER") or "heap"
+
+#: cohort-execution modes selectable via ``Simulator(dispatch=...)``:
+#: ``"cohort"`` (default) collapses same-timestamp cohort runs into one
+#: queue entry; ``"scalar"`` is the one-event-per-member reference path.
+DISPATCH_MODES = ("scalar", "cohort")
+
+_default_dispatch = os.environ.get("REPRO_SIM_DISPATCH") or "cohort"
 
 
 def default_scheduler() -> str:
@@ -91,6 +103,23 @@ def set_default_scheduler(name: str) -> str:
         raise ValueError(f"unknown scheduler {name!r}; choose from {SCHEDULERS}")
     previous = _default_scheduler
     _default_scheduler = name
+    return previous
+
+
+def default_dispatch() -> str:
+    """The cohort-dispatch mode used when ``Simulator(dispatch=None)``."""
+    return _default_dispatch
+
+
+def set_default_dispatch(name: str) -> str:
+    """Set the process-wide default dispatch mode; returns the previous one."""
+    global _default_dispatch
+    if name not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {name!r}; choose from {DISPATCH_MODES}"
+        )
+    previous = _default_dispatch
+    _default_dispatch = name
     return previous
 
 
@@ -121,6 +150,8 @@ class Simulator:
         "_immediate",
         "_wheel",
         "_scheduler",
+        "_dispatch",
+        "_cohort_extra",
         "_eid",
         "_active_process",
         "events_processed",
@@ -129,7 +160,10 @@ class Simulator:
     )
 
     def __init__(
-        self, initial_time: float = 0.0, scheduler: str | None = None
+        self,
+        initial_time: float = 0.0,
+        scheduler: str | None = None,
+        dispatch: str | None = None,
     ) -> None:
         self._now = float(initial_time)
         if scheduler is None:
@@ -139,6 +173,17 @@ class Simulator:
                 f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
             )
         self._scheduler = scheduler
+        if dispatch is None:
+            dispatch = _default_dispatch
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {dispatch!r}; choose from {DISPATCH_MODES}"
+            )
+        self._dispatch = dispatch
+        #: cohort members collapsed into pending slice entries but not yet
+        #: fired: added to every queue-depth sample so both dispatch modes
+        #: report identical depths for the same logical state.
+        self._cohort_extra = 0
         #: calendar-queue timer store when ``scheduler="wheel"``; ``None``
         #: selects the binary-heap fast path below.
         self._wheel: Optional[CalendarQueue] = (
@@ -189,17 +234,26 @@ class Simulator:
         return self._scheduler
 
     @property
+    def dispatch(self) -> str:
+        """The cohort-execution mode this simulator runs with."""
+        return self._dispatch
+
+    @property
     def queue_depth(self) -> int:
         """Number of scheduled-but-unprocessed events.
 
         Counts the zero-delay FIFO, the unflushed staging list, and every
         timer the active store holds — including the wheel's prepared run
         and far-future overflow entries — so both schedulers report the
-        same depth for the same logical state.
+        same depth for the same logical state.  Cohort members collapsed
+        into pending slices count individually (``_cohort_extra``), so
+        both dispatch modes report the same depth too.
         """
         wheel = self._wheel
         timers = len(wheel) if wheel is not None else len(self._queue)
-        return timers + len(self._pending) + len(self._immediate)
+        return (
+            timers + len(self._pending) + len(self._immediate) + self._cohort_extra
+        )
 
     # -- factories ---------------------------------------------------------
     def event(self) -> SimEvent:
@@ -231,6 +285,26 @@ class Simulator:
         ev = Timeout(self, delay)
         ev.callbacks.append(_FnCallback(fn))
         return ev
+
+    def schedule_cohort(
+        self,
+        times,
+        apply,
+        payload: object = None,
+        entity_ids: object = None,
+        layer: str = "cohort",
+    ) -> EventCohort:
+        """Register N homogeneous timers as one struct-of-arrays cohort.
+
+        ``times`` are absolute fire times (each >= now); ``apply(cohort,
+        start, stop)`` is invoked by the kernel for member runs — per
+        member under ``dispatch="scalar"``, per maximal consecutive
+        equal-time run under ``dispatch="cohort"``.  See
+        :class:`~repro.simcore.cohort.EventCohort` for the ordering and
+        accounting contract.  Returns the cohort; its ``done`` event
+        fires after the last member is applied.
+        """
+        return EventCohort(self, times, apply, payload, entity_ids, layer)
 
     # -- scheduling --------------------------------------------------------
     # NOTE: the hot constructors (Timeout.__init__, SimEvent.succeed/fail)
@@ -355,7 +429,7 @@ class Simulator:
         now = self._now
         processed = 0
         peak = self.peak_queue_depth
-        depth = len(queue) + len(pending) + len(immediate)
+        depth = len(queue) + len(pending) + len(immediate) + self._cohort_extra
         if depth > peak:
             peak = depth
         try:
@@ -393,13 +467,18 @@ class Simulator:
                     self._now = now
                     for cb in callbacks:
                         cb(event)
-                    depth = len(queue) + len(pending) + len(immediate)
+                    depth = (
+                        len(queue)
+                        + len(pending)
+                        + len(immediate)
+                        + self._cohort_extra
+                    )
                     if depth > peak:
                         peak = depth
                 if event._ok is False and not event._defused:
                     raise event.value  # type: ignore[misc]
         finally:
-            depth = len(queue) + len(pending) + len(immediate)
+            depth = len(queue) + len(pending) + len(immediate) + self._cohort_extra
             if depth > peak:
                 peak = depth
             self._now = now
@@ -426,7 +505,7 @@ class Simulator:
         now = self._now
         processed = 0
         peak = self.peak_queue_depth
-        depth = len(wheel) + len(pending) + len(immediate)
+        depth = len(wheel) + len(pending) + len(immediate) + self._cohort_extra
         if depth > peak:
             peak = depth
         # Timers only ever enter the wheel through the pending flush below
@@ -485,13 +564,14 @@ class Simulator:
                         + len(wheel._overflow)
                         + len(pending)
                         + len(immediate)
+                        + self._cohort_extra
                     )
                     if depth > peak:
                         peak = depth
                 if event._ok is False and not event._defused:
                     raise event.value  # type: ignore[misc]
         finally:
-            depth = len(wheel) + len(pending) + len(immediate)
+            depth = len(wheel) + len(pending) + len(immediate) + self._cohort_extra
             if depth > peak:
                 peak = depth
             self._now = now
@@ -556,12 +636,25 @@ class Simulator:
             if until_f < self._now:
                 raise ValueError(f"until ({until_f}) is in the past (now={self._now})")
 
+        # Pause the cyclic garbage collector for the drain: the hot loop
+        # allocates thousands of short-lived events/tuples per run, which
+        # trips gen-0 collections constantly (measured ~35% of kernel
+        # wall on the scale grid) while the kernel itself creates no
+        # reference cycles that need collecting mid-run.  Re-enabled (and
+        # nesting-safe) on exit; a deferred collection then reclaims any
+        # cycles model code made.
+        paused_gc = gc.isenabled()
+        if paused_gc:
+            gc.disable()
         try:
             self._drain(until_f)
         except StopSimulation:
             if not stop_value.get("ok", True):
                 raise stop_value["value"]  # type: ignore[misc]
             return stop_value.get("value")
+        finally:
+            if paused_gc:
+                gc.enable()
         if until_f is None and isinstance(until, SimEvent):
             raise SimulationError(
                 "event queue drained before the awaited event triggered"

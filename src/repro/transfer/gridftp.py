@@ -143,6 +143,47 @@ class GridFTPServer:
         ramp = slow_start_ramp_s(path, calibration.GO_WINDOW_BYTES)
         return ramp + size_bytes * 8.0 / rate
 
+    # -- chunk-progress cohort ----------------------------------------------------
+    def chunk_cohort(
+        self,
+        plan: list[int],
+        rate: float,
+        last_at: float | None = None,
+        tail: float = 0.0,
+    ):
+        """Register ``plan``'s slices as one cohort of progress timers.
+
+        Fire times accumulate sequentially from now (matching what a
+        timeout-per-slice loop would produce); ``last_at`` optionally
+        pins the final member to an exact absolute time so callers that
+        already computed a whole-file duration keep it bit-identical.
+        Each member adds its slice's bytes to :attr:`bytes_moved`; the
+        cohort's ``done`` event fires when the last slice lands.  A
+        positive ``tail`` appends one zero-byte member that many seconds
+        after the last slice (post-transfer work such as a checksum
+        pass), delaying ``done`` without a separate timer.
+        """
+        t = self.ctx.sim.now
+        times = []
+        for slice_bytes in plan:
+            t += slice_bytes * 8.0 / rate
+            times.append(t)
+        if last_at is not None:
+            times[-1] = last_at
+        if tail > 0.0:
+            plan = plan + [0]
+            times.append(times[-1] + tail)
+        return self.ctx.sim.schedule_cohort(
+            times, self._chunk_apply, payload=plan, layer="gridftp.chunk"
+        )
+
+    def _chunk_apply(self, cohort, start: int, stop: int) -> None:
+        plan = cohort.payload
+        if stop - start == 1:
+            self.bytes_moved += plan[start]
+        else:
+            self.bytes_moved += sum(plan[start:stop])
+
     # -- direct third-party transfer (globus-url-copy equivalent) ----------------
     def transfer_file(
         self,
@@ -177,15 +218,17 @@ class GridFTPServer:
             # Move the file as coalesced block slices: progress (and
             # byte accounting) advances in-flight, but a transfer costs at
             # most MAX_CHUNK_EVENTS simulation events regardless of size.
+            # The slices are one cohort (struct-of-arrays record) instead
+            # of a timeout per slice; `_chunk_apply` advances the byte
+            # counter as members fire.
             rate = aggregate_rate_bps(network, streams, calibration.GO_WINDOW_BYTES)
             yield self.ctx.sim.timeout(
                 slow_start_ramp_s(network, calibration.GO_WINDOW_BYTES)
             )
-            chunks = 0
-            for slice_bytes in coalesced_chunk_plan(node.size):
-                yield self.ctx.sim.timeout(slice_bytes * 8.0 / rate)
-                self.bytes_moved += slice_bytes
-                chunks += 1
+            plan = coalesced_chunk_plan(node.size)
+            chunks = len(plan)
+            if plan:
+                yield self.chunk_cohort(plan, rate).done
             dest.store(dst_path, node, now=self.ctx.now)
         except BaseException as exc:
             obs.finish(span, status="error", error=repr(exc))

@@ -1,0 +1,119 @@
+"""The ``--dispatch`` knob, end to end through harness, pool, and CLI.
+
+Mirror of the ``--scheduler`` contract: picking a dispatch mode changes
+how many queue entries cohorts cost, never what the simulation computes
+— so the sim JSON must be byte-identical across modes at any worker
+count, the chosen mode must be reported in the full result document and
+the trajectory record, and it must be deliberately absent from the sim
+document (the determinism pin cannot depend on it).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import suites, trajectory
+from repro.bench.cli import main as cli_main
+from repro.bench.harness import run_suite
+from repro.simcore import default_dispatch
+
+pytestmark = pytest.mark.bench
+
+
+def test_scalar_sim_json_identical_at_any_worker_count():
+    suite = suites.scale_suite(smoke=True)
+    cohort_seq = run_suite(suite, workers=1, dispatch="cohort")
+    reference = cohort_seq.sim_json()
+    for workers in (1, 3):
+        scalar = run_suite(suite, workers=workers, dispatch="scalar")
+        assert scalar.ok
+        assert scalar.sim_json() == reference
+
+
+def test_to_dict_reports_dispatch_but_sim_dict_omits_it():
+    result = run_suite(suites.usecase_suite(smoke=True), dispatch="scalar")
+    assert result.dispatch == "scalar"
+    assert result.to_dict()["dispatch"] == "scalar"
+    assert "dispatch" not in result.sim_dict()
+    assert '"dispatch"' not in result.sim_json()
+
+
+def test_default_dispatch_is_recorded_when_unpinned():
+    result = run_suite(suites.usecase_suite(smoke=True))
+    assert result.dispatch == default_dispatch()
+
+
+def test_worker_subprocesses_honor_the_dispatch_mode():
+    """The spec pipe must carry the dispatch mode to pool workers too."""
+    result = run_suite(suites.usecase_suite(smoke=True), workers=2, dispatch="scalar")
+    assert result.ok
+    assert result.dispatch == "scalar"
+
+
+def test_unknown_dispatch_is_rejected_up_front():
+    with pytest.raises(ValueError, match="unknown dispatch"):
+        run_suite(suites.usecase_suite(smoke=True), dispatch="vectorized")
+
+
+def test_dispatch_and_scheduler_compose():
+    """All four scheduler x dispatch corners agree on the sim JSON."""
+    suite = suites.scale_suite(smoke=True)
+    reference = None
+    for scheduler in ("heap", "wheel"):
+        for dispatch in ("scalar", "cohort"):
+            result = run_suite(suite, scheduler=scheduler, dispatch=dispatch)
+            assert result.ok
+            if reference is None:
+                reference = result.sim_json()
+            else:
+                assert result.sim_json() == reference
+
+
+def test_trajectory_record_carries_dispatch():
+    result = run_suite(suites.scale_suite(smoke=True), dispatch="cohort")
+    record = trajectory.from_suite_result(result, commit="abc", date="d")
+    assert record.dispatch == "cohort"
+    assert record.to_dict()["dispatch"] == "cohort"
+    # records written before the field existed default to the old path
+    old_doc = {k: v for k, v in record.to_dict().items() if k != "dispatch"}
+    assert trajectory.TrajectoryRecord.from_dict(old_doc).dispatch == "scalar"
+
+
+def test_cli_dispatch_flag_round_trip(tmp_path, capsys):
+    """``gp-bench --dispatch scalar`` writes the same sim JSON as cohort."""
+    outputs = {}
+    for dispatch in ("cohort", "scalar"):
+        out = tmp_path / f"{dispatch}.json"
+        rc = cli_main(
+            [
+                "scale",
+                "--smoke",
+                "-q",
+                "--dispatch",
+                dispatch,
+                "--sim-json-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        outputs[dispatch] = out.read_text()
+        assert f"dispatch={dispatch}" in capsys.readouterr().out
+    assert outputs["cohort"] == outputs["scalar"]
+    assert json.loads(outputs["scalar"])  # well-formed
+
+
+def test_cli_list_marks_cohort_eligible_suites(capsys):
+    assert cli_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "scale: " in out and "cohorts: yes" in out
+    # the pricing sweep never enters the event loop
+    pricing_line = next(
+        line for line in out.splitlines() if line.startswith("pricing_sweep:")
+    )
+    assert "cohorts: no" in pricing_line
+
+
+def test_cli_warns_when_dispatch_cannot_matter(capsys):
+    rc = cli_main(["pricing_sweep", "--smoke", "-q", "--dispatch", "scalar"])
+    assert rc == 0
+    assert "schedules event cohorts" in capsys.readouterr().err

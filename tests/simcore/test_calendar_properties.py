@@ -103,6 +103,57 @@ def test_resize_boundaries_preserve_order(n, span):
     assert drain(q) == sorted(entries)
 
 
+@given(n=st.integers(min_value=1, max_value=300), t=TIMES)
+@settings(max_examples=60, deadline=None)
+def test_bulk_same_timestamp_extend_pops_in_key_order(n, t):
+    """A cohort-style bulk insert of one timestamp drains in key order.
+
+    This is the shape cohort registration produces (``extend`` of a
+    same-timestamp run) — the whole batch must land in one bucket (or
+    the overflow list) and still respect the key tiebreak.
+    """
+    q = CalendarQueue()
+    q.extend([(t, k, None) for k in range(n)])
+    assert [e[1] for e in drain(q)] == list(range(n))
+
+
+@given(
+    near=st.lists(
+        st.floats(min_value=0.0, max_value=4.0, allow_nan=False), max_size=60
+    ),
+    far=st.lists(
+        st.sampled_from([1e9, 2.0**40, 2.0**40 + 0.5, 1e18]), max_size=60
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_far_future_overflow_repatriates_in_order(near, far):
+    """Entries parked beyond the calendar horizon migrate back losslessly.
+
+    Interleaving near-term and far-future pushes forces some entries
+    into the overflow list; draining must repatriate them into the ring
+    in exactly sorted order, including same-timestamp clusters split
+    across the boundary.
+    """
+    q = CalendarQueue()
+    entries = []
+    for k, t in enumerate(v for pair in zip(near, far) for v in pair):
+        entries.append((t, k, None))
+    # tails of the longer list (zip truncates)
+    for t in (near + far)[len(entries):]:
+        entries.append((t, len(entries), None))
+    q.extend(entries)
+    # a couple of pops interleaved with late pushes shake the boundary
+    ref = sorted(entries)
+    for k in range(3):
+        if ref:
+            assert q.pop() == ref.pop(0)
+            late = (2.0**40, 10_000 + k, None)
+            q.push(late)
+            ref.append(late)
+            ref.sort()
+    assert drain(q) == ref
+
+
 def test_cancelled_timer_defuses_without_firing_either_scheduler():
     """The kernel's cancel idiom (defuse a failed event) drains cleanly."""
     for scheduler in ("heap", "wheel"):

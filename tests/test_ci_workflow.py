@@ -74,6 +74,27 @@ def test_bench_job_diffs_sim_json_across_schedulers(workflow):
     assert any("cmp" in c and "wheel" in c for c in wheel)
 
 
+def test_bench_job_diffs_sim_json_across_dispatch_modes(workflow):
+    """The smoke sweep must rerun under scalar dispatch and byte-compare."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    scalar = [c for c in commands if "--dispatch scalar" in c]
+    assert scalar, "bench-smoke must rerun the sweep under scalar dispatch"
+    assert any("cmp" in c and "scalar" in c for c in scalar)
+
+
+def test_bench_job_schema_checks_trajectory_record(workflow):
+    """A --trajectory run is appended and its record schema-checked."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    traj = [c for c in commands if "--trajectory" in c]
+    assert traj, "bench-smoke must exercise --trajectory"
+    assert any("TrajectoryRecord.from_dict" in c for c in traj), (
+        "the appended trajectory record must be schema-checked"
+    )
+    assert any("dispatch" in c for c in traj), (
+        "the schema check must cover the dispatch field"
+    )
+
+
 def test_bench_job_runs_pricing_sweep_smoke(workflow):
     """The vectorized pricing sweep (equivalence + anchor checks) is in CI."""
     commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
