@@ -8,8 +8,9 @@ Examples::
     gp-bench fig10 fig11 --workers 2        # a subset of suites
     gp-bench usecase --smoke --obs-out obs/ # spans: Chrome trace + summary
 
-Exit status is non-zero if any task failed or timed out, so CI can gate
-on the sweep directly.
+Exit status is non-zero if any task failed or timed out — or if an
+otherwise-ok task's payload reports ``tasks_failed > 0`` — so CI can
+gate on the sweep directly.
 """
 
 from __future__ import annotations
@@ -238,7 +239,14 @@ def main(argv: list[str] | None = None) -> int:
         print(trajectory.render(records, last=10))
         print(f"appended to {args.trajectory}")
 
-    return 0 if result.ok else 1
+    payload_failures = result.payload_failures()
+    if payload_failures and result.ok:
+        print(
+            f"error: {payload_failures} work unit(s) failed inside"
+            " otherwise-ok tasks (payload tasks_failed > 0)",
+            file=sys.stderr,
+        )
+    return 0 if result.ok and payload_failures == 0 else 1
 
 
 if __name__ == "__main__":

@@ -205,6 +205,24 @@ class SuiteResult:
             out[t.status] = out.get(t.status, 0) + 1
         return out
 
+    def payload_failures(self) -> int:
+        """Work failures hiding inside otherwise-``ok`` tasks.
+
+        ``ok`` means the task callable returned — but a driver can
+        return cleanly while its payload records failed work units
+        (e.g. a WaaS run whose Condor jobs never completed reports
+        ``tasks_failed > 0``).  This sums the top-level
+        ``tasks_failed`` keys across ok-task payloads so the CLI can
+        refuse to exit 0 on a suite that quietly lost work.
+        """
+        total = 0
+        for t in self.tasks:
+            if t.ok and isinstance(t.payload, dict):
+                n = t.payload.get("tasks_failed")
+                if isinstance(n, (int, float)) and not isinstance(n, bool):
+                    total += int(n)
+        return total
+
     def config_digest(self) -> str:
         return config_digest([t.spec for t in self.tasks])
 

@@ -18,7 +18,7 @@ import time as _time
 from dataclasses import asdict, replace
 
 from .. import calibration
-from . import ablations, figure10, figure11, pricing_sweep, scale, usecase
+from . import ablations, figure10, figure11, pricing_sweep, scale, usecase, waas
 from .harness import BenchSpec, BenchSuite, task
 
 # ---------------------------------------------------------------------------
@@ -62,6 +62,13 @@ def scale_run(**config_kwargs) -> dict:
 @task("pricing.sweep")
 def pricing_sweep_run(**config_kwargs) -> dict:
     result = pricing_sweep.run(pricing_sweep.PricingSweepConfig(**config_kwargs))
+    result.check_shape()
+    return result.to_dict()
+
+
+@task("waas.run")
+def waas_run(**config_kwargs) -> dict:
+    result = waas.run(waas.WaasConfig(**config_kwargs))
     result.check_shape()
     return result.to_dict()
 
@@ -144,6 +151,13 @@ def selftest_boom(message: str = "scripted failure") -> dict:
 @task("selftest.exit")
 def selftest_exit(code: int = 13) -> dict:
     os._exit(code)  # hard crash: no exception, no cleanup
+
+
+@task("selftest.poisoned")
+def selftest_poisoned(tasks_failed: int = 1) -> dict:
+    """An "ok" task whose payload admits it lost work — exercises the
+    CLI's payload-level ``tasks_failed`` gate."""
+    return {"looks": "fine", "tasks_failed": tasks_failed}
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +267,23 @@ def pricing_sweep_suite(smoke: bool = False) -> BenchSuite:
     )
 
 
+def _waas_spec(config: waas.WaasConfig) -> BenchSpec:
+    name = (
+        f"waas/{config.policy}/t{config.tenants}-w{config.workflows}"
+        f"-s{config.seed}"
+    )
+    return BenchSpec(name=name, task="waas.run", params=asdict(config))
+
+
+def waas_suite(smoke: bool = False) -> BenchSuite:
+    grid = waas.SMOKE_GRID if smoke else waas.FULL_GRID
+    return BenchSuite(
+        "waas",
+        "WaaS multi-tenant front door: SLA vs cost per elasticity policy",
+        tuple(_waas_spec(cfg) for cfg in grid),
+    )
+
+
 def ablations_suite(smoke: bool = False) -> BenchSuite:
     specs = (
         BenchSpec(name="ablations/ami", task="ablations.ami"),
@@ -283,6 +314,7 @@ SUITE_BUILDERS = {
     "scale": scale_suite,
     "pricing_sweep": pricing_sweep_suite,
     "ablations": ablations_suite,
+    "waas": waas_suite,
 }
 
 

@@ -145,3 +145,23 @@ class BillingMeter:
     def instance_hours(self, now: float) -> float:
         """Raw instance-hours used so far (proportional)."""
         return sum(iv.duration(now) for iv in self.intervals) / 3600.0
+
+    def cost_by_type(self, now: float, mode: str = "proportional") -> dict[str, float]:
+        """Per-instance-type USD breakdown of :meth:`cost`.
+
+        An elastic fleet mixes base workers with autoscaled additions of
+        a different type; this is the view that says what the elasticity
+        itself cost.  Keys are sorted so the dict is JSON-stable.
+        """
+        if mode not in ("proportional", "hourly"):
+            raise ValueError(f"unknown billing mode {mode!r}")
+        totals: dict[str, float] = {}
+        for iv in self.intervals:
+            dur = iv.duration(now)
+            rate = self.book.hourly(iv.instance_type)
+            if mode == "proportional":
+                usd = rate * dur / 3600.0
+            else:
+                usd = rate * max(1.0, math.ceil(dur / 3600.0))
+            totals[iv.instance_type] = totals.get(iv.instance_type, 0.0) + usd
+        return {t: totals[t] for t in sorted(totals)}

@@ -259,6 +259,10 @@ class Schedd:
         # index's laziness: an eviction only dirties its own owner.
         self._idle_by_owner: dict[str, dict[int, CondorJob]] = {}
         self._dirty_owners: set[str] = set()
+        #: total cpu+io work of the idle queue, maintained incrementally
+        #: so backlog-driven autoscaling policies get an O(1) snapshot
+        #: instead of an O(idle jobs) scan per control interval
+        self._idle_work = 0.0
 
     def submit(self, job_kwargs: dict, ctx: SimContext) -> CondorJob:
         job = CondorJob(id=self._next_id, submit_time=ctx.now, **job_kwargs)
@@ -270,11 +274,13 @@ class Schedd:
         if bucket is None:
             bucket = self._idle_by_owner[job.owner] = {}
         bucket[job.id] = job
+        self._idle_work += job.cpu_work + job.io_work
         return job
 
     def _job_requeued(self, job: CondorJob) -> None:
         """An eviction put ``job`` back to IDLE (possibly out of order)."""
         self._idle[job.id] = job
+        self._idle_work += job.cpu_work + job.io_work
         self._idle_dirty = True
         bucket = self._idle_by_owner.get(job.owner)
         if bucket is None:
@@ -284,7 +290,8 @@ class Schedd:
 
     def _job_left_queue(self, job: CondorJob) -> None:
         """``job`` stopped being IDLE (claimed or removed)."""
-        self._idle.pop(job.id, None)
+        if self._idle.pop(job.id, None) is not None:
+            self._idle_work -= job.cpu_work + job.io_work
         bucket = self._idle_by_owner.get(job.owner)
         if bucket is not None:
             bucket.pop(job.id, None)
@@ -294,6 +301,20 @@ class Schedd:
 
     def has_idle(self) -> bool:
         return bool(self._idle)
+
+    def idle_count(self) -> int:
+        """Number of idle jobs, without the sort :meth:`idle_jobs` may do."""
+        return len(self._idle)
+
+    def idle_count_of(self, owner: str) -> int:
+        """One owner's idle-job count (0 when the owner has none queued)."""
+        bucket = self._idle_by_owner.get(owner)
+        return len(bucket) if bucket else 0
+
+    @property
+    def idle_work(self) -> float:
+        """Total cpu+io work currently idle (m1.small-seconds), O(1)."""
+        return self._idle_work
 
     def idle_jobs(self) -> list[CondorJob]:
         if self._idle_dirty:
@@ -497,6 +518,15 @@ class CondorPool:
     def queue_depth(self) -> int:
         return len(self.schedd.idle_jobs())
 
+    def queue_depth_of(self, owner: str) -> int:
+        """Idle jobs queued by one owner (per-tenant backlog view)."""
+        return self.schedd.idle_count_of(owner)
+
+    @property
+    def idle_work(self) -> float:
+        """Backlogged cpu+io work (m1.small-seconds) awaiting a match."""
+        return self.schedd.idle_work
+
     @property
     def running_count(self) -> int:
         return sum(len(s.busy) for s in self.startds.values())
@@ -504,6 +534,15 @@ class CondorPool:
     @property
     def total_slots(self) -> int:
         return sum(s.machine.cores for s in self.startds.values() if not s.draining)
+
+    @property
+    def total_cpu_capacity(self) -> float:
+        """m1.small-seconds of work the pool retires per simulated second."""
+        return sum(
+            s.machine.cores * s.machine.cpu_factor
+            for s in self.startds.values()
+            if not s.draining
+        )
 
     def machine_names(self) -> list[str]:
         return sorted(self.startds)

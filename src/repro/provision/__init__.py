@@ -19,6 +19,7 @@ from .topology import (
     TopologyError,
     diff_topologies,
     with_extra_worker,
+    with_worker_count,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "UpdateReport",
     "diff_topologies",
     "with_extra_worker",
+    "with_worker_count",
 ]

@@ -326,6 +326,33 @@ def with_extra_worker(topology: Topology, domain: str, instance_type: str) -> To
     return replace(topology, domains=tuple(doms))
 
 
+def with_worker_count(
+    topology: Topology, domain: str, count: int, extra_type: str
+) -> Topology:
+    """Resize a domain's worker pool to ``count`` nodes.
+
+    Growing appends workers of ``extra_type`` (the elastic-provisioner
+    path: the paper's scale-up adds a c1.medium); shrinking drops the
+    most recently added workers first, so the base pool survives.
+    """
+    if count < 0:
+        raise TopologyError("worker count must be >= 0")
+    doms = []
+    for d in topology.domains:
+        if d.name != domain:
+            doms.append(d)
+            continue
+        types = d.worker_types(topology.ec2.instance_type)
+        if count >= len(types):
+            types = types + (extra_type,) * (count - len(types))
+        else:
+            types = types[:count]
+        doms.append(
+            replace(d, cluster_nodes=count, worker_instance_types=types)
+        )
+    return replace(topology, domains=tuple(doms))
+
+
 #: the paper's Fig. 3 example, verbatim
 PAPER_GALAXY_CONF = """\
 [general]

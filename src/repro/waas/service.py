@@ -1,0 +1,275 @@
+"""The WaaS front door: arrivals -> admission -> DAG execution -> SLA.
+
+``WaasService`` runs a multi-tenant workflow service on top of one GP
+deployment: tenants submit workflow DAGs with deadlines (the open-loop
+:mod:`~repro.waas.tenants` plan), the admission controller gates them
+behind quotas and fair share, and admitted DAGs execute on the
+deployment's Condor pool — each task a Condor job owned by its tenant,
+so the negotiator's per-owner fair share applies *within* the pool just
+as admission applies above it.
+
+Two scale-critical choices:
+
+* the entire arrival schedule registers as **one struct-of-arrays
+  cohort** (``layer="waas.arrival"``) — 100k arrivals cost one kernel
+  registration, not 100k timers;
+* DAG execution is **callback-driven**: task completions chain through
+  Condor's ``on_complete`` into readiness updates, so a workflow in
+  flight holds no resident simulation process.  The only processes in
+  a WaaS run are the provisioner loop and whatever the kernel already
+  runs.
+
+The service never draws randomness: arrivals are precomputed and
+execution is reactive, so obs-on and obs-off runs (and scalar vs
+cohort dispatch) stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Optional
+
+from ..provision.instance import GlobusProvision
+from ..provision.topology import DomainSpec, EC2Spec, GlobusOnlineSpec, Topology
+from .admission import AdmissionController
+from .policies import PoolSnapshot
+from .tenants import ArrivalPlan, WorkflowRequest
+
+
+def waas_topology(
+    base_workers: int,
+    instance_type: str = "m1.small",
+    domain: str = "waas",
+) -> Topology:
+    """A lean WaaS pool: NFS/NIS head + Condor workers, no Galaxy tier.
+
+    The front door submits to Condor directly, so the topology skips the
+    Galaxy/GridFTP nodes the interactive deployments carry — at 100k
+    tenants the head-node tax would be pure noise.
+    """
+    return Topology(
+        domains=(
+            DomainSpec(
+                name=domain,
+                users=("waas-admin",),
+                nfs=True,
+                condor=True,
+                cluster_nodes=base_workers,
+            ),
+        ),
+        ec2=EC2Spec(instance_type=instance_type),
+        globusonline=GlobusOnlineSpec(),
+    )
+
+
+class WaasService:
+    """Multi-tenant workflow execution bound to one GP instance."""
+
+    def __init__(
+        self,
+        gp: GlobusProvision,
+        instance_id: str,
+        plan: ArrivalPlan,
+        admission: AdmissionController,
+        domain: str = "waas",
+    ) -> None:
+        self.gp = gp
+        self.ctx = gp.bed.ctx
+        self.instance_id = instance_id
+        self.plan = plan
+        self.admission = admission
+        self.domain = domain
+        admission.bind(self._start_workflow, self._workflow_rejected)
+        # -- per-DAG execution plans, shared across requests ----------------
+        # keyed by object identity: the arrival plan hands the same DAG
+        # object to many requests, so a 100k-workflow run builds only
+        # ``unique_dags`` plans (values keep the DAG alive, making ids safe)
+        self._plans: dict[int, tuple] = {}
+        # -- per-request runtime state --------------------------------------
+        self._indegree: dict[int, list[int]] = {}
+        self._remaining: dict[int, int] = {}
+        # -- deadline index for the provisioner's snapshot ------------------
+        self._deadline_heap: list[tuple[float, int]] = []
+        self._live: set[int] = set()
+        # -- outcomes -------------------------------------------------------
+        self.completed: list[WorkflowRequest] = []
+        self.rejected: list[WorkflowRequest] = []
+        self.sla_met = 0
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self._all_done = self.ctx.sim.event()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def all_done(self):
+        """Fires once every planned request has completed or been rejected."""
+        return self._all_done
+
+    @property
+    def pool(self):
+        return self.gp.get(self.instance_id).deployment.pool
+
+    def open(self) -> float:
+        """Register the full arrival schedule; returns the open instant.
+
+        Arrival offsets become absolute times relative to *now* (call
+        this once the deployment is up) and enter the kernel as a single
+        cohort — the service's demand side costs O(1) registrations.
+        """
+        t0 = self.ctx.now
+        requests = self.plan.requests
+        times = [t0 + r.arrival_s for r in requests]
+        self.ctx.sim.schedule_cohort(
+            times, self._arrival_apply, payload=requests, layer="waas.arrival"
+        )
+        self.ctx.log("waas", "open", requests=len(requests), t0=t0)
+        return t0
+
+    # -- arrivals ----------------------------------------------------------
+    def _arrival_apply(self, cohort, start: int, stop: int) -> None:
+        requests = cohort.payload
+        now = self.ctx.now
+        obs = self.ctx.obs
+        for k in range(start, stop):
+            req = requests[k]
+            req.arrived_s = now
+            req.deadline_s = now + req.allowance_s
+            self._live.add(req.id)
+            heappush(self._deadline_heap, (req.deadline_s, req.id))
+            if obs.enabled:
+                obs.counter("waas.arrivals").inc()
+                obs.start(
+                    "waas.workflow",
+                    track=self._track(req),
+                    tenant=req.tenant.name,
+                    workflow=req.id,
+                    shape=req.dag.shape,
+                )
+            self.admission.offer(req)
+
+    @staticmethod
+    def _track(req: WorkflowRequest) -> str:
+        """Per-tenant span tracks: every workflow files under its tenant."""
+        return f"waas/{req.tenant.name}/wf-{req.id}"
+
+    # -- execution ---------------------------------------------------------
+    def _dag_plan(self, dag) -> tuple:
+        plan = self._plans.get(id(dag))
+        if plan is None:
+            children: list[list[int]] = [[] for _ in dag.tasks]
+            indegree = [len(t.parents) for t in dag.tasks]
+            for t in dag.tasks:
+                for p in t.parents:
+                    children[p].append(t.id)
+            plan = self._plans[id(dag)] = (
+                dag,  # keep alive so id() stays unambiguous
+                tuple(tuple(c) for c in children),
+                tuple(indegree),
+            )
+        return plan
+
+    def _start_workflow(self, req: WorkflowRequest) -> None:
+        """Admission callback: release the DAG's root tasks to Condor."""
+        _dag, children, indegree0 = self._dag_plan(req.dag)
+        self._indegree[req.id] = list(indegree0)
+        self._remaining[req.id] = len(req.dag.tasks)
+        for task in req.dag.tasks:
+            if not task.parents:
+                self._submit_task(req, task.id)
+
+    def _submit_task(self, req: WorkflowRequest, task_id: int) -> None:
+        task = req.dag.tasks[task_id]
+        self.jobs_submitted += 1
+
+        def _done(job, req=req, task_id=task_id):
+            self._task_done(req, task_id)
+
+        self.pool.submit(
+            cpu_work=task.cpu_work, owner=req.tenant.name, on_complete=_done
+        )
+
+    def _task_done(self, req: WorkflowRequest, task_id: int) -> None:
+        self.jobs_completed += 1
+        _dag, children, _indegree0 = self._plans[id(req.dag)]
+        indegree = self._indegree[req.id]
+        for child in children[task_id]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                self._submit_task(req, child)
+        self._remaining[req.id] -= 1
+        if self._remaining[req.id] == 0:
+            self._finish_workflow(req)
+
+    def _finish_workflow(self, req: WorkflowRequest) -> None:
+        now = self.ctx.now
+        req.completed_s = now
+        del self._indegree[req.id]
+        del self._remaining[req.id]
+        self._live.discard(req.id)
+        self.completed.append(req)
+        met = req.sla_met
+        if met:
+            self.sla_met += 1
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.counter("waas.completed").inc()
+            obs.counter("waas.sla_met" if met else "waas.sla_missed").inc()
+            obs.histogram("waas.makespan_s").observe(now - req.arrived_s)
+            obs.finish_open(self._track(req), status="ok" if met else "error",
+                            error=None if met else "deadline-missed")
+        self.ctx.log(
+            "waas", "workflow-done", workflow=req.id,
+            tenant=req.tenant.name, sla=met,
+        )
+        self.admission.complete(req)
+        self._check_all_done()
+
+    def _workflow_rejected(self, req: WorkflowRequest) -> None:
+        self._live.discard(req.id)
+        self.rejected.append(req)
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.finish_open(self._track(req), status="cancelled", error="rejected")
+        self._check_all_done()
+
+    def _check_all_done(self) -> None:
+        if (
+            len(self.completed) + len(self.rejected) == len(self.plan.requests)
+            and not self._all_done.triggered
+        ):
+            self._all_done.succeed(self)
+
+    # -- observability for the provisioner ---------------------------------
+    def min_deadline_slack(self) -> Optional[float]:
+        """Slack of the most urgent live workflow (negative when late)."""
+        heap = self._deadline_heap
+        while heap and heap[0][1] not in self._live:
+            heappop(heap)
+        if not heap:
+            return None
+        return heap[0][0] - self.ctx.now
+
+    def snapshot(self) -> PoolSnapshot:
+        """The provisioner's policy input, assembled in O(log live)."""
+        pool = self.pool
+        adm = self.admission
+        gpi = self.gp.get(self.instance_id)
+        return PoolSnapshot(
+            now=self.ctx.now,
+            workers=gpi.topology.domain(self.domain).cluster_nodes,
+            queue_depth=pool.schedd.idle_count(),
+            running=pool.running_count,
+            total_slots=pool.total_slots,
+            cpu_capacity=pool.total_cpu_capacity,
+            idle_work=pool.idle_work,
+            backlog_workflows=adm.backlog_workflows,
+            backlog_work=adm.backlog_work,
+            in_flight=adm.in_flight,
+            min_deadline_slack_s=self.min_deadline_slack(),
+        )
+
+    # -- results -----------------------------------------------------------
+    @property
+    def sla_attainment(self) -> float:
+        done = len(self.completed) + len(self.rejected)
+        return self.sla_met / done if done else 0.0

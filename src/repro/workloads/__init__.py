@@ -1,21 +1,29 @@
 """Synthetic workload generators for the paper's datasets and benchmarks."""
 
 from .generators import (
+    DAG_SHAPES,
+    DAGTask,
+    WorkflowDAG,
     make_affy_cel_archive,
     make_clinical_table,
     make_expression_matrix_bytes,
     make_four_cel_archive,
     make_pricing_sweep_sizes,
     make_rnaseq_archive,
+    make_workflow_dag,
     transfer_corpus,
 )
 
 __all__ = [
+    "DAG_SHAPES",
+    "DAGTask",
+    "WorkflowDAG",
     "make_affy_cel_archive",
     "make_clinical_table",
     "make_expression_matrix_bytes",
     "make_four_cel_archive",
     "make_pricing_sweep_sizes",
     "make_rnaseq_archive",
+    "make_workflow_dag",
     "transfer_corpus",
 ]

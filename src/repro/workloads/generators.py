@@ -8,6 +8,8 @@ two-group differential-expression signal so correctness is checkable.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .. import calibration
@@ -134,3 +136,147 @@ def make_pricing_sweep_sizes(
     rng = np.random.default_rng(seed)
     mb = np.exp(rng.uniform(np.log(min_mb), np.log(max_mb), size=n_jobs))
     return np.round(mb * calibration.MB)
+
+
+# ---------------------------------------------------------------------------
+# Workflow DAG shapes (the WaaS multi-tenant workload model)
+# ---------------------------------------------------------------------------
+
+#: shapes :func:`make_workflow_dag` knows how to build
+DAG_SHAPES = ("chain", "fanout", "diamond", "layered")
+
+
+@dataclass(frozen=True)
+class DAGTask:
+    """One node of a workflow DAG.
+
+    ``cpu_work`` is in m1.small-seconds (the unit Condor jobs consume);
+    ``parents`` are task ids that must complete before this one may run.
+    By construction every parent id is smaller than the task's own id,
+    so task order is already a topological order.
+    """
+
+    id: int
+    cpu_work: float
+    parents: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkflowDAG:
+    """A workflow instance: tasks plus dependency edges.
+
+    Instances are value objects — two calls to :func:`make_workflow_dag`
+    with the same arguments compare equal, which is what makes DAG reuse
+    across thousands of tenants (and the reproducibility property tests)
+    cheap to check.
+    """
+
+    shape: str
+    seed: int
+    tasks: tuple[DAGTask, ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_work(self) -> float:
+        return sum(t.cpu_work for t in self.tasks)
+
+    def critical_path_work(self) -> float:
+        """Longest dependency-chain work sum (ids are topological order)."""
+        finish: list[float] = []
+        for t in self.tasks:
+            upstream = max((finish[p] for p in t.parents), default=0.0)
+            finish.append(upstream + t.cpu_work)
+        return max(finish, default=0.0)
+
+    def validate(self) -> None:
+        """Structural invariants: ids dense, edges point backwards (acyclic)."""
+        for i, t in enumerate(self.tasks):
+            if t.id != i:
+                raise ValueError(f"task ids must be dense, got {t.id} at {i}")
+            if t.cpu_work < 0:
+                raise ValueError(f"task {i} has negative cpu_work")
+            for p in t.parents:
+                if not 0 <= p < i:
+                    raise ValueError(
+                        f"task {i} depends on {p}: edges must point to "
+                        "earlier tasks (acyclicity by construction)"
+                    )
+
+
+def _dag_edges(shape: str, n: int, rng: np.random.Generator) -> list[tuple[int, ...]]:
+    """Parent lists per task id for one of :data:`DAG_SHAPES`."""
+    if shape == "chain":
+        return [() if i == 0 else (i - 1,) for i in range(n)]
+    if shape == "fanout":
+        # split -> n-2 parallel branches -> join (per-sample fan-out)
+        if n < 3:
+            return [() if i == 0 else (i - 1,) for i in range(n)]
+        middle = range(1, n - 1)
+        return [()] + [(0,) for _ in middle] + [tuple(middle)]
+    if shape == "diamond":
+        # two stacked fanout/fan-in lozenges sharing a waist
+        if n < 4:
+            return _dag_edges("fanout", n, rng)
+        waist = n // 2
+        first = _dag_edges("fanout", waist + 1, rng)
+        edges = list(first)
+        middle = range(waist + 1, n - 1)
+        edges.extend((waist,) for _ in middle)
+        edges.append(tuple(middle) if len(middle) else (waist,))
+        return edges
+    if shape == "layered":
+        # random layered DAG: every task depends on 1-3 tasks of the
+        # previous layer (Montage-style), layer widths drawn per DAG
+        edges: list[tuple[int, ...]] = [()]
+        prev_layer = [0]
+        i = 1
+        while i < n:
+            width = min(int(rng.integers(1, 4)), n - i)
+            layer = []
+            for _ in range(width):
+                k = min(int(rng.integers(1, 4)), len(prev_layer))
+                picks = rng.choice(len(prev_layer), size=k, replace=False)
+                edges.append(tuple(sorted(prev_layer[j] for j in picks)))
+                layer.append(i)
+                i += 1
+            prev_layer = layer
+        return edges
+    raise ValueError(f"unknown DAG shape {shape!r}; known: {DAG_SHAPES}")
+
+
+def make_workflow_dag(
+    shape: str = "fanout",
+    n_tasks: int = 6,
+    seed: int = 0,
+    mean_work_s: float = 90.0,
+    work_spread: float = 4.0,
+) -> WorkflowDAG:
+    """One workflow DAG instance, deterministic in its arguments.
+
+    Per-task work is log-uniform over ``[mean/spread, mean*spread]``
+    m1.small-seconds, rounded to milliseconds so the value survives a
+    JSON round-trip bit-exactly.  The RNG stream is private to the call
+    (``np.random.default_rng``), so DAG generation never perturbs a
+    simulation's RNG state.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    if mean_work_s <= 0 or work_spread < 1.0:
+        raise ValueError("need mean_work_s > 0 and work_spread >= 1")
+    rng = np.random.default_rng(seed)
+    edges = _dag_edges(shape, n_tasks, rng)
+    lo, hi = np.log(mean_work_s / work_spread), np.log(mean_work_s * work_spread)
+    work = np.round(np.exp(rng.uniform(lo, hi, size=n_tasks)), 3)
+    dag = WorkflowDAG(
+        shape=shape,
+        seed=seed,
+        tasks=tuple(
+            DAGTask(id=i, cpu_work=float(work[i]), parents=edges[i])
+            for i in range(n_tasks)
+        ),
+    )
+    dag.validate()
+    return dag

@@ -35,6 +35,30 @@ def test_required_jobs_exist(workflow):
     assert {"lint", "tests", "bench-smoke"} <= set(workflow["jobs"])
 
 
+def test_workflow_cancels_superseded_runs(workflow):
+    """A top-level concurrency group cancels stale runs of the same ref."""
+    conc = workflow.get("concurrency")
+    assert isinstance(conc, dict), "workflow needs a top-level concurrency group"
+    assert conc.get("cancel-in-progress") is True
+    group = conc.get("group", "")
+    assert "github.ref" in group, "the group must be keyed on the ref"
+
+
+def test_every_setup_python_step_caches_pip(workflow):
+    """All setup-python steps (lint included) restore the pip cache."""
+    setups = [
+        step
+        for job in workflow["jobs"].values()
+        for step in job["steps"]
+        if "setup-python" in step.get("uses", "")
+    ]
+    assert setups, "expected setup-python steps"
+    for step in setups:
+        assert step.get("with", {}).get("cache") == "pip", (
+            f"setup-python step missing 'cache: pip': {step}"
+        )
+
+
 def test_all_actions_are_version_pinned(workflow):
     uses = [
         step["uses"]
@@ -101,6 +125,18 @@ def test_bench_job_runs_pricing_sweep_smoke(workflow):
     pricing = [c for c in commands if "pricing_sweep" in c]
     assert pricing, "bench-smoke must run the pricing_sweep suite"
     assert any("--smoke" in c for c in pricing)
+
+
+def test_bench_job_runs_waas_policy_smoke(workflow):
+    """The WaaS suite races its policies in CI and byte-compares the
+    parallel and sequential merges."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    waas = [c for c in commands if "repro.bench waas" in c]
+    assert waas, "bench-smoke must run the waas suite"
+    assert any("--smoke" in c for c in waas)
+    assert any("--workers 4" in c and "--workers 1" in c and "cmp" in c for c in waas), (
+        "the waas sim JSON must be byte-compared across worker counts"
+    )
 
 
 def test_bench_job_compares_sim_json_against_committed_baseline(workflow):
