@@ -100,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--bundle-out",
+        type=pathlib.Path,
+        metavar="DIR",
+        help=(
+            "export a provenance bundle (topology + calibration digest +"
+            " scenario/seeds + span log + sim JSON) into DIR as"
+            " <suite>.bundle.json; implies span capture; replay/verify it"
+            " with gp-replay"
+        ),
+    )
+    parser.add_argument(
         "--trajectory",
         nargs="?",
         type=pathlib.Path,
@@ -196,7 +207,8 @@ def main(argv: list[str] | None = None) -> int:
     mode = f"{args.workers} workers" if args.workers > 1 else "sequential"
     sched = f", scheduler={args.scheduler}" if args.scheduler else ""
     disp = f", dispatch={args.dispatch}" if args.dispatch else ""
-    obs_note = ", obs" if args.obs_out else ""
+    capture_spans = args.obs_out is not None or args.bundle_out is not None
+    obs_note = ", obs" if capture_spans else ""
     print(
         f"running suite {suite.name!r}: {len(suite.specs)} specs,"
         f" {mode}{sched}{disp}{obs_note}"
@@ -213,7 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         default_timeout_s=args.timeout,
         progress=progress,
         scheduler=args.scheduler,
-        obs=args.obs_out is not None,
+        obs=capture_spans,
         dispatch=args.dispatch,
     )
 
@@ -229,6 +241,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.obs_out:
         for path in write_obs_outputs(result, args.obs_out):
             print(f"wrote {path}")
+    if args.bundle_out:
+        # imported lazily: most gp-bench invocations never bundle, and
+        # the provenance package pulls in the replay machinery
+        from ..provenance import build_bundle, write_bundle
+
+        bundle = build_bundle(result)
+        bundle_path = write_bundle(bundle, args.bundle_out / f"{suite.name}.bundle.json")
+        print(f"wrote {bundle_path} (digest {bundle.digest()[:12]}...)")
 
     if args.trajectory is not None:
         record = trajectory.from_suite_result(

@@ -267,6 +267,18 @@ class SuiteResult:
     def sim_json(self) -> str:
         return json.dumps(self.sim_dict(), indent=2, sort_keys=True)
 
+    def scenario_dict(self) -> dict:
+        """What ran and under which kernel knobs — the reconstruction
+        recipe a provenance bundle stores (see :mod:`repro.provenance`):
+        rerunning these specs under this scheduler/dispatch reproduces
+        :meth:`sim_dict` byte-identically."""
+        return {
+            "suite": self.suite,
+            "scheduler": self.scheduler,
+            "dispatch": self.dispatch,
+            "specs": [t.spec.to_dict() for t in self.tasks],
+        }
+
     def obs_docs(self) -> list[dict]:
         """All observability docs recorded by the tasks, in spec order."""
         docs: list[dict] = []

@@ -213,3 +213,39 @@ AFFY_CEL_N_ARRAYS = 72
 #: Condor negotiation cycle period (s); matches Condor's default order of
 #: magnitude and bounds job-dispatch latency in the use case.
 CONDOR_NEGOTIATION_INTERVAL_S = 20.0
+
+# ---------------------------------------------------------------------------
+# Provenance: the calibration surface as data
+#
+# A provenance bundle (see ``repro.provenance``) must pin the exact
+# calibration a run was produced under, so a replay on drifted constants
+# fails loudly instead of quietly reproducing different numbers.  The
+# snapshot captures every UPPERCASE module constant; the digest is the
+# identity replays compare against.
+# ---------------------------------------------------------------------------
+
+
+def snapshot() -> dict:
+    """JSON-safe mapping of every named calibration constant above."""
+    import sys
+
+    out: dict = {}
+    for name, value in sorted(vars(sys.modules[__name__]).items()):
+        if not name.isupper():
+            continue
+        if isinstance(value, dict):
+            out[name] = dict(value)
+        elif isinstance(value, (list, tuple)):
+            out[name] = list(value)
+        elif isinstance(value, (bool, int, float, str)):
+            out[name] = value
+    return out
+
+
+def digest() -> str:
+    """SHA-256 over the canonical JSON form of :func:`snapshot`."""
+    import hashlib
+    import json
+
+    doc = json.dumps(snapshot(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()

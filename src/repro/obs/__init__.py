@@ -28,7 +28,15 @@ simulations constructed deep inside benchmark tasks)::
     json.dump(chrome_trace(cap), open("usecase.trace.json", "w"))
 """
 
-from .export import as_docs, chrome_trace, metrics_rows, spans_jsonl, summary_rows, summary_table
+from .export import (
+    annotations,
+    as_docs,
+    chrome_trace,
+    metrics_rows,
+    spans_jsonl,
+    summary_rows,
+    summary_table,
+)
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import (
     NULL_RECORDER,
@@ -53,6 +61,7 @@ __all__ = [
     "NullRecorder",
     "ObsRecorder",
     "Span",
+    "annotations",
     "as_docs",
     "capture",
     "capturing",

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import json
 
-__all__ = ["as_docs", "chrome_trace", "spans_jsonl", "summary_rows", "summary_table"]
+__all__ = [
+    "annotations",
+    "as_docs",
+    "chrome_trace",
+    "spans_jsonl",
+    "summary_rows",
+    "summary_table",
+]
 
 #: simulated seconds -> Chrome trace microseconds
 _US = 1_000_000.0
@@ -40,6 +47,23 @@ def as_docs(source) -> list[dict]:
     out: list[dict] = []
     for item in source:
         out.extend(as_docs(item))
+    return out
+
+
+def annotations(source, kind: str | None = None) -> list[dict]:
+    """Provenance annotations across contexts, in recording order.
+
+    Each returned dict carries the annotation fields plus a ``context``
+    key naming the doc it came from; ``kind`` filters (e.g.
+    ``"topology"``).  This is the bundle exporter's view of what the
+    recorders captured about the deployed world.
+    """
+    out: list[dict] = []
+    for i, doc in enumerate(as_docs(source)):
+        label = doc.get("label") or f"sim-{i}"
+        for ann in doc.get("annotations", ()):
+            if kind is None or ann.get("kind") == kind:
+                out.append(dict(ann, context=label))
     return out
 
 

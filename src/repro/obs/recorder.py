@@ -132,6 +132,10 @@ class ObsRecorder:
         self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
         self.spans: list[Span] = []
         self.instants: list[dict] = []
+        #: provenance annotations (see :meth:`annotate`): structured facts
+        #: about *what* ran, not *when* — topology specs, deployment
+        #: metadata — that bundle exporters lift out of the span log
+        self.annotations: list[dict] = []
         self.metrics = MetricsRegistry()
         self._next_id = 1
         #: per-track stacks of open spans (nesting: top of stack = parent)
@@ -212,6 +216,18 @@ class ObsRecorder:
             }
         )
 
+    def annotate(self, kind: str, **attrs: Any) -> None:
+        """Attach a provenance annotation to this recorder.
+
+        Annotations carry reconstruction inputs — the deployed topology
+        spec, deployment facts — rather than timing.  They ride in
+        :meth:`to_dict` (and therefore through the harness pipe) but the
+        trace exporters ignore them; ``repro.provenance`` collects them
+        into the bundle's topology section via
+        :func:`repro.obs.export.annotations`.
+        """
+        self.annotations.append({"kind": kind, "time": self._clock(), "attrs": attrs})
+
     # -- metrics ------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         return self.metrics.counter(name)
@@ -231,6 +247,7 @@ class ObsRecorder:
             "label": self.label,
             "spans": [s.to_dict() for s in self.spans],
             "instants": [dict(i, attrs=dict(i["attrs"])) for i in self.instants],
+            "annotations": [dict(a, attrs=dict(a["attrs"])) for a in self.annotations],
             "metrics": self.metrics.to_dict(),
         }
 
@@ -292,6 +309,7 @@ class NullRecorder:
     label = "disabled"
     spans: list = []       # intentionally shared and always empty
     instants: list = []
+    annotations: list = []
     now = 0.0
 
     __slots__ = ()
@@ -314,6 +332,9 @@ class NullRecorder:
     def instant(self, _name: str, _track: Optional[str] = None, **_attrs: Any) -> None:
         pass
 
+    def annotate(self, _kind: str, **_attrs: Any) -> None:
+        pass
+
     def counter(self, _name: str) -> _NullMetric:
         return _NULL_METRIC
 
@@ -324,7 +345,13 @@ class NullRecorder:
         return _NULL_METRIC
 
     def to_dict(self) -> dict:
-        return {"label": self.label, "spans": [], "instants": [], "metrics": {}}
+        return {
+            "label": self.label,
+            "spans": [],
+            "instants": [],
+            "annotations": [],
+            "metrics": {},
+        }
 
 
 #: the process-wide disabled singleton

@@ -82,9 +82,23 @@ def main(argv: list[str] | None = None) -> int:
     failed = False
     for path in paths:
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError) as exc:
+            text = path.read_text()
+        except OSError as exc:
             print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        # An empty (or whitespace-only) file means the exporter never ran
+        # or died before writing — name that case instead of letting it
+        # surface as a generic JSON parse error, and never let any
+        # no-content case count as valid.
+        if not text.strip():
+            print(f"{path}: empty trace file (no content to validate)", file=sys.stderr)
+            failed = True
+            continue
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            print(f"{path}: truncated or malformed JSON: {exc}", file=sys.stderr)
             failed = True
             continue
         errors = check_chrome_trace(doc)

@@ -177,13 +177,18 @@ class Topology:
         return {u for d in self.domains for u in d.users}
 
     # -- serialisation --------------------------------------------------------------
-    def to_json(self) -> str:
+    def to_doc(self) -> dict:
+        """JSON-safe dict form (tuples become lists); feeds both
+        :meth:`to_json` and the provenance bundle's topology section."""
         doc = {
             "domains": [asdict(d) for d in self.domains],
             "ec2": asdict(self.ec2),
             "globusonline": asdict(self.globusonline) if self.globusonline else None,
         }
-        return json.dumps(doc, indent=2)
+        return json.loads(json.dumps(doc))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "Topology":

@@ -107,3 +107,8 @@ class SimContext:
 
     def log(self, source: str, kind: str, **detail: Any) -> None:
         self.trace.emit(self.sim.now, source, kind, **detail)
+
+    def provenance(self) -> dict:
+        """Everything a replay needs to rebuild an equivalent context:
+        the seed plus the kernel's scheduler/dispatch and counters."""
+        return {"seed": self.seed, **self.sim.provenance()}

@@ -238,6 +238,18 @@ class Simulator:
         """The cohort-execution mode this simulator runs with."""
         return self._dispatch
 
+    def provenance(self) -> dict:
+        """The kernel facts a provenance bundle needs to reconstruct and
+        cross-check this simulator: which scheduler/dispatch it ran under
+        and the deterministic end-of-run counters a replay must match."""
+        return {
+            "scheduler": self._scheduler,
+            "dispatch": self._dispatch,
+            "now": self._now,
+            "events_processed": self.events_processed,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
     @property
     def queue_depth(self) -> int:
         """Number of scheduled-but-unprocessed events.

@@ -1,0 +1,73 @@
+"""--bundle-out plumbing: span capture implied, bundle written, replayable.
+
+The invariant chain: ``gp-bench --bundle-out DIR`` turns on obs capture
+even without ``--obs-out``, writes one ``<suite>.bundle.json`` whose sim
+section is exactly the run's ``sim_json()``, and the written file
+verifies and replays through ``gp-replay`` in the same process tree.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import cli
+from repro.provenance import read_bundle, verify_bundle
+from repro.provenance.cli import main as replay_main
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def bundle_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bundles")
+    code = cli.main(["scale", "--smoke", "-q", "--bundle-out", str(out)])
+    assert code == 0
+    return out / "scale-smoke.bundle.json"
+
+
+def test_cli_writes_bundle_file(bundle_run, capsys):
+    assert bundle_run.exists()
+    doc = json.loads(bundle_run.read_text())
+    assert doc["format"] == "gp-provenance-bundle"
+    assert [s["name"] for s in doc["sections"]["scenario"]["specs"]]
+
+
+def test_bundle_implies_span_capture(bundle_run):
+    bundle = read_bundle(bundle_run)
+    assert bundle.spans, "--bundle-out must capture spans without --obs-out"
+    assert bundle.topology, "deployer topology annotations must be captured"
+
+
+def test_bundle_sim_matches_committed_smoke_sections(bundle_run):
+    bundle = read_bundle(bundle_run)
+    assert bundle.sim["suite"] == "scale-smoke"
+    assert {t["status"] for t in bundle.sim["tasks"]} == {"ok"}
+    verify_bundle(bundle)
+
+
+def test_written_bundle_replays_verified(bundle_run, capsys):
+    assert replay_main([str(bundle_run)]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_obs_out_and_bundle_out_compose(tmp_path, capsys):
+    obs_dir = tmp_path / "obs"
+    bundle_dir = tmp_path / "bundles"
+    code = cli.main(
+        [
+            "usecase",
+            "--smoke",
+            "-q",
+            "--obs-out",
+            str(obs_dir),
+            "--bundle-out",
+            str(bundle_dir),
+        ]
+    )
+    assert code == 0
+    assert (obs_dir / "usecase.trace.json").exists()
+    bundle = read_bundle(bundle_dir / "usecase-smoke.bundle.json")
+    verify_bundle(bundle)
+    out = capsys.readouterr().out
+    assert "usecase-smoke.bundle.json" in out
+    assert "digest" in out

@@ -70,3 +70,37 @@ def test_cli_main_ok_and_failure(tmp_path, capsys):
     assert main([str(bad)]) == 1
 
     assert main([]) == 2
+
+
+def test_cli_main_empty_file_fails(tmp_path, capsys):
+    """A zero-byte (or whitespace-only) trace means the exporter never
+    wrote — that must be a named failure, never a pass."""
+    empty = tmp_path / "empty.trace.json"
+    empty.write_text("")
+    assert main([str(empty)]) == 1
+    assert "empty trace file" in capsys.readouterr().err
+
+    blank = tmp_path / "blank.trace.json"
+    blank.write_text("  \n\t\n")
+    assert main([str(blank)]) == 1
+    assert "empty trace file" in capsys.readouterr().err
+
+
+def test_cli_main_truncated_file_fails(tmp_path, capsys):
+    """A trace cut off mid-write is malformed JSON, reported as such."""
+    full = json.dumps(_valid_doc())
+    truncated = tmp_path / "truncated.trace.json"
+    truncated.write_text(full[: len(full) // 2])
+    assert main([str(truncated)]) == 1
+    assert "truncated or malformed JSON" in capsys.readouterr().err
+
+
+def test_cli_main_empty_file_fails_even_alongside_good_files(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_valid_doc()))
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert main([str(good), str(empty)]) == 1
+    captured = capsys.readouterr()
+    assert "ok" in captured.out
+    assert "empty trace file" in captured.err

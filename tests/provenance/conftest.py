@@ -1,0 +1,38 @@
+"""Shared fixtures: one tiny captured run, bundled once per session.
+
+The tiny scale config deploys a 5-node topology and pushes a couple of
+transfers/jobs through it in ~10 ms, which is enough to exercise every
+bundle section (topology annotations, span log, seeds, sim payload).
+"""
+
+import pytest
+
+from repro.bench.harness import BenchSpec, BenchSuite, run_suite
+from repro.provenance import build_bundle
+
+TINY_PARAMS = {
+    "workers": 2,
+    "transfers": 2,
+    "jobs": 4,
+    "file_mb": 2,
+    "instance_type": "m1.small",
+    "seed": 0,
+}
+
+
+def tiny_suite(**param_overrides) -> BenchSuite:
+    params = {**TINY_PARAMS, **param_overrides}
+    spec = BenchSpec(name="scale/tiny", task="scale.run", params=params)
+    return BenchSuite("tiny", "provenance fixture suite", (spec,))
+
+
+@pytest.fixture(scope="session")
+def tiny_result():
+    result = run_suite(tiny_suite(), workers=1, obs=True)
+    assert result.ok
+    return result
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tiny_result):
+    return build_bundle(tiny_result)

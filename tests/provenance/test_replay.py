@@ -1,0 +1,169 @@
+"""Replay: byte-identity across the scheduler/dispatch matrix,
+counterfactual comparisons, override parsing, and the gp-replay CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import run_suite
+from repro.provenance import (
+    BundleError,
+    build_bundle,
+    parse_overrides,
+    rebuild_suite,
+    replay,
+    write_bundle,
+)
+from repro.provenance.cli import main
+
+from .conftest import tiny_suite
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+@pytest.mark.parametrize("dispatch", ["scalar", "cohort"])
+def test_replay_is_byte_identical_across_matrix(scheduler, dispatch):
+    result = run_suite(
+        tiny_suite(), obs=True, scheduler=scheduler, dispatch=dispatch
+    )
+    bundle = build_bundle(result)
+    assert bundle.scenario["scheduler"] == scheduler
+    assert bundle.scenario["dispatch"] == dispatch
+    report = replay(bundle)
+    assert report.mode == "verify"
+    assert report.verified is True
+    assert report.divergence is None
+    assert report.scheduler == scheduler
+    assert report.dispatch == dispatch
+
+
+def test_rebuild_suite_reapplies_seeds(tiny_bundle):
+    suite = rebuild_suite(tiny_bundle)
+    assert suite.name == "tiny"
+    assert suite.specs[0].params["seed"] == 0
+    assert suite.specs[0].task == "scale.run"
+
+
+def test_rebuild_suite_applies_param_overrides(tiny_bundle):
+    suite = rebuild_suite(
+        tiny_bundle, {"seed": 7, "instance_type": "c1.medium"}
+    )
+    assert suite.specs[0].params["seed"] == 7
+    assert suite.specs[0].params["instance_type"] == "c1.medium"
+
+
+def test_rebuild_suite_rejects_malformed_scenario(tiny_bundle):
+    import dataclasses
+
+    broken = dataclasses.replace(tiny_bundle, scenario={"suite": "x"})
+    with pytest.raises(BundleError) as exc:
+        rebuild_suite(broken)
+    assert exc.value.code == "scenario.malformed"
+
+    empty = dataclasses.replace(
+        tiny_bundle, scenario={**tiny_bundle.scenario, "specs": []}
+    )
+    with pytest.raises(BundleError) as exc:
+        rebuild_suite(empty)
+    assert exc.value.code == "scenario.malformed"
+
+
+def test_counterfactual_instance_type_reports_deltas(tiny_bundle):
+    report = replay(tiny_bundle, overrides={"instance_type": "c1.medium"})
+    assert report.mode == "counterfactual"
+    assert report.replay_ok
+    assert report.comparison, "expected per-metric delta rows"
+    metrics = {row["metric"] for row in report.comparison}
+    assert any(m.startswith("scale/tiny:") for m in metrics)
+    assert any(m.endswith("sim_seconds") for m in metrics)
+    # a faster instance type must actually move the makespan
+    assert any(
+        row["delta"] != 0
+        for row in report.comparison
+        if row["metric"].endswith(":sim_seconds")
+    )
+    assert "counterfactual" in report.render()
+
+
+def test_counterfactual_scheduler_is_an_equivalence_proof(tiny_bundle):
+    report = replay(tiny_bundle, overrides={"scheduler": "wheel"})
+    assert report.mode == "counterfactual"
+    assert report.scheduler == "wheel"
+    assert all(row["delta"] == 0 for row in report.comparison)
+
+
+def test_counterfactual_seed_changes_outcome(tiny_bundle):
+    report = replay(tiny_bundle, overrides={"seed": 3})
+    assert report.mode == "counterfactual"
+    assert report.replay_ok
+
+
+def test_replay_report_round_trips_through_json(tiny_bundle):
+    report = replay(tiny_bundle)
+    doc = json.loads(json.dumps(report.to_dict()))
+    assert doc["mode"] == "verify"
+    assert doc["verified"] is True
+    assert doc["tasks"] == 1
+
+
+def test_parse_overrides():
+    assert parse_overrides([]) == {}
+    assert parse_overrides(["seed=5", "scheduler=wheel"]) == {
+        "seed": 5,
+        "scheduler": "wheel",
+    }
+    for bad in ["nonsense", "=x", "seed=", "warp_factor=9"]:
+        with pytest.raises(BundleError) as exc:
+            parse_overrides([bad])
+        assert exc.value.code == "override.unknown"
+
+
+@pytest.fixture()
+def bundle_path(tiny_bundle, tmp_path):
+    return write_bundle(tiny_bundle, tmp_path / "tiny.bundle.json")
+
+
+def test_cli_verify_exit_zero(bundle_path, capsys):
+    assert main([str(bundle_path)]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_cli_check_only(bundle_path, capsys):
+    assert main([str(bundle_path), "--check-only"]) == 0
+    out = capsys.readouterr().out
+    assert "bundle ok" in out
+    assert "1 spec(s)" in out
+
+
+def test_cli_export_sim_matches_bundled_sim(bundle_path, tiny_bundle, tmp_path):
+    sim_path = tmp_path / "sim.json"
+    code = main(
+        [str(bundle_path), "--check-only", "--export-sim", str(sim_path), "-q"]
+    )
+    assert code == 0
+    assert sim_path.read_text() == tiny_bundle.sim_json() + "\n"
+
+
+def test_cli_json_out_report(bundle_path, tmp_path):
+    report_path = tmp_path / "report.json"
+    assert main([str(bundle_path), "--json-out", str(report_path), "-q"]) == 0
+    doc = json.loads(report_path.read_text())
+    assert doc["verified"] is True
+    assert doc["divergence"] is None
+
+
+def test_cli_counterfactual_exit_zero(bundle_path, capsys):
+    code = main([str(bundle_path), "--override", "instance_type=c1.medium"])
+    assert code == 0
+    assert "counterfactual" in capsys.readouterr().out
+
+
+def test_cli_bad_override_exit_two(bundle_path, capsys):
+    assert main([str(bundle_path), "--override", "warp=9"]) == 2
+    err = json.loads(capsys.readouterr().err)
+    assert err["error"]["code"] == "override.unknown"
+
+
+def test_cli_missing_bundle_exit_three(tmp_path, capsys):
+    assert main([str(tmp_path / "absent.bundle.json")]) == 3
+    err = json.loads(capsys.readouterr().err)
+    assert err["error"]["code"] == "bundle.unreadable"

@@ -178,6 +178,51 @@ def test_obs_baseline_is_committed_and_current(workflow):
     assert all(t["status"] == "ok" for t in doc["tasks"])
 
 
+def test_bench_job_bundles_and_replays_smoke(workflow):
+    """The smoke suite is bundled, replayed with gp-replay, and its
+    bundled sim section byte-compared against the committed baseline."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    bundled = [c for c in commands if "--bundle-out" in c]
+    assert bundled, "bench-smoke must export a provenance bundle"
+    assert any("repro.provenance.cli" in c for c in bundled), (
+        "the exported bundle must be replayed/verified with gp-replay"
+    )
+    assert any(
+        "--export-sim" in c and "benchmarks/results/bench_smoke_sim.json" in c
+        for c in bundled
+    ), "the bundled sim must be byte-compared against the committed baseline"
+
+
+def test_bench_job_replays_full_scheduler_dispatch_matrix(workflow):
+    """Acceptance criterion: bundles replay byte-identically under every
+    scheduler x dispatch combination."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    matrix = [
+        c
+        for c in commands
+        if "--bundle-out" in c and "repro.provenance.cli" in c
+        and all(word in c for word in ("heap", "wheel", "scalar", "cohort"))
+    ]
+    assert matrix, (
+        "bench-smoke must replay bundles for all four scheduler x dispatch combos"
+    )
+
+
+def test_bench_job_rejects_corrupted_bundle(workflow):
+    """The negative gate: a deliberately corrupted bundle must fail with
+    the structured BundleError JSON, never verify."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    corrupt = [c for c in commands if "corrupted.bundle.json" in c]
+    assert corrupt, "bench-smoke must exercise a corrupted bundle"
+    step = corrupt[0]
+    assert "unexpectedly verified" in step and "exit 1" in step, (
+        "a verifying corrupted bundle must fail the job"
+    )
+    assert "bundle.section-digest" in step, (
+        "the structured error code must be asserted"
+    )
+
+
 def test_bench_job_uploads_suite_artifact(workflow):
     uploads = [
         s for s in _steps(workflow, "bench-smoke")

@@ -1,0 +1,100 @@
+"""First-divergence walking and counterfactual comparison tables."""
+
+from repro.reporting import (
+    Divergence,
+    comparison_rows,
+    first_divergence,
+    flatten_numeric,
+    render_comparison,
+    render_divergence,
+)
+
+
+def test_equal_documents_have_no_divergence():
+    doc = {"a": [1, 2, {"b": "x"}], "c": None}
+    assert first_divergence(doc, doc) is None
+    assert first_divergence({}, {}) is None
+    assert first_divergence([], []) is None
+
+
+def test_scalar_mismatch_names_the_path():
+    div = first_divergence({"a": {"b": 1}}, {"a": {"b": 2}})
+    assert div == Divergence("$.a.b", 1, 2)
+
+
+def test_dict_key_absence_both_directions():
+    assert first_divergence({"a": 1}, {}) == Divergence("$.a", 1, "<absent>")
+    assert first_divergence({}, {"a": 1}) == Divergence("$.a", "<absent>", 1)
+
+
+def test_dict_walk_is_sorted_key_order():
+    # both 'a' and 'z' differ; the report must deterministically pick 'a'
+    div = first_divergence({"z": 1, "a": 1}, {"z": 2, "a": 2})
+    assert div.path == "$.a"
+
+
+def test_list_index_and_length_mismatch():
+    assert first_divergence([1, 2], [1, 3]).path == "$[1]"
+    assert first_divergence([1, 2, 3], [1, 2]) == Divergence("$[2]", 3, "<absent>")
+    assert first_divergence([1], [1, 9]) == Divergence("$[1]", "<absent>", 9)
+
+
+def test_type_mismatch_diverges():
+    assert first_divergence({"a": [1]}, {"a": {"x": 1}}).path == "$.a"
+    assert first_divergence("1", 1).path == "$"
+
+
+def test_int_float_interchangeable_but_bool_is_not():
+    assert first_divergence(1, 1.0) is None
+    assert first_divergence(True, 1) == Divergence("$", True, 1)
+    assert first_divergence(False, 0.0) == Divergence("$", False, 0.0)
+
+
+def test_render_divergence_truncates_large_values():
+    div = Divergence("$.x", "y" * 500, {"k": 1})
+    out = render_divergence(div)
+    assert "$.x" in out
+    assert "dict of 1 entries" in out
+    assert all(len(line) < 160 for line in out.splitlines())
+
+
+def test_flatten_numeric():
+    flat = flatten_numeric(
+        {"a": 1, "b": {"c": 2.5}, "d": [3, "s"], "e": True, "f": None}
+    )
+    assert flat == {"a": 1.0, "b.c": 2.5, "d[0]": 3.0}
+
+
+def test_comparison_rows_changed_and_headlines():
+    base = {"sim_seconds": 100.0, "cost_usd": 2.0, "noise": 5}
+    new = {"sim_seconds": 80.0, "cost_usd": 2.0, "noise": 5}
+    rows = comparison_rows(base, new)
+    by_metric = {r["metric"]: r for r in rows}
+    assert by_metric["sim_seconds"]["delta"] == -20.0
+    assert by_metric["sim_seconds"]["pct"] == -20.0
+    # unchanged headline still shown; unchanged non-headline dropped
+    assert by_metric["cost_usd"]["delta"] == 0.0
+    assert "noise" not in by_metric
+
+    rows = comparison_rows(base, new, include_unchanged_headlines=False)
+    assert [r["metric"] for r in rows] == ["sim_seconds"]
+
+
+def test_comparison_rows_handles_absent_and_zero_baseline():
+    rows = comparison_rows({"only_base": 1.0}, {"only_new": 2.0, "z": 0.0})
+    by_metric = {r["metric"]: r for r in rows}
+    assert by_metric["only_base"]["delta"] is None
+    assert by_metric["only_new"]["pct"] is None
+    # zero baseline: delta defined, percentage not
+    rows = comparison_rows({"x": 0.0}, {"x": 5.0})
+    assert rows[0]["delta"] == 5.0
+    assert rows[0]["pct"] is None
+
+
+def test_render_comparison():
+    out = render_comparison(
+        comparison_rows({"sim_seconds": 100.0}, {"sim_seconds": 80.0})
+    )
+    assert "counterfactual comparison" in out
+    assert "-20" in out and "-20.0%" in out
+    assert render_comparison([]) == "(no numeric metrics to compare)"

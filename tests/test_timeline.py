@@ -67,6 +67,79 @@ def test_globus_tasks_appear_as_go_rows():
     assert "go go-task-000001" in art
 
 
+def test_zero_span_docs_render_as_no_activity():
+    """Obs docs whose tracks recorded no (finished) spans produce no
+    intervals — and the renderer says so instead of dividing by zero."""
+    from repro.obs import ObsRecorder
+
+    rec = ObsRecorder(label="idle")
+    assert collect_intervals(rec) == []
+    assert "no deployment activity" in render_timeline(rec)
+
+    # a doc with spans, all unfinished: still zero intervals
+    rec.start("ec2.boot", track="ec2/i-1", instance="i-1")
+    rec.start("chef.converge", track="chef/n1", node="n1")
+    assert collect_intervals(rec) == []
+    assert "no deployment activity" in render_timeline(rec)
+
+
+def test_unknown_span_names_are_ignored():
+    from repro.obs import ObsRecorder
+
+    clock = {"t": 0.0}
+    rec = ObsRecorder(label="s", clock=lambda: clock["t"])
+    span = rec.start("transfer.window", track="x")  # not a timeline row
+    clock["t"] = 5.0
+    rec.finish(span)
+    assert collect_intervals(rec) == []
+
+
+def test_trace_with_no_go_tasks_renders_without_go_rows():
+    trace = TraceLog()
+    trace.emit(0.0, "ec2", "launch", instance="i-1")
+    trace.emit(40.0, "ec2", "running", instance="i-1")
+    trace.emit(100.0, "chef", "converge-done", node="n1", duration=60.0)
+    intervals = collect_intervals(trace)
+    assert sorted(iv.label for iv in intervals) == ["boot i-1", "chef n1"]
+    art = render_timeline(trace)
+    assert "go " not in art
+    assert "boot i-1" in art and "chef n1" in art
+
+
+def test_trace_with_unmatched_launch_yields_no_boot_interval():
+    """A launch with no running record in the window is still pending —
+    no interval, rather than a bar with a made-up end."""
+    trace = TraceLog()
+    trace.emit(0.0, "ec2", "launch", instance="i-1")
+    trace.emit(10.0, "chef", "converge-done", node="n1", duration=5.0)
+    labels = [iv.label for iv in collect_intervals(trace)]
+    assert labels == ["chef n1"]
+
+
+def test_boot_clamp_never_inverts_the_interval():
+    """When the running record lands before the clamped start (trace
+    begins after the boot completed), the bar is clamped, not inverted."""
+    trace = TraceLog()
+    trace.emit(50.0, "chef", "converge-start", node="n1")
+    trace.emit(20.0, "ec2", "running", instance="i-1")  # before records[0].time
+    trace.emit(60.0, "chef", "converge-done", node="n1", duration=10.0)
+    boots = [iv for iv in collect_intervals(trace) if iv.label == "boot i-1"]
+    assert len(boots) == 1
+    assert boots[0].start <= boots[0].end
+    assert boots[0].end == 20.0
+
+
+def test_zero_duration_interval_renders_a_visible_bar():
+    trace = TraceLog()
+    trace.emit(10.0, "globus", "task-submit", task="t1")
+    trace.emit(10.0, "globus", "task-done", task="t1", status="SUCCEEDED")
+    trace.emit(10.0, "ec2", "launch", instance="i-1")
+    trace.emit(60.0, "ec2", "running", instance="i-1")
+    art = render_timeline(trace)
+    go_line = next(ln for ln in art.splitlines() if ln.startswith("go t1"))
+    assert "#" in go_line  # length floor of one cell, even at zero duration
+
+
 def test_collect_intervals_accepts_obs_spans():
     from repro.obs import ObsRecorder
 
