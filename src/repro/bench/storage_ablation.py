@@ -1,0 +1,159 @@
+"""Storage-backend ablation: the use-case workload per backend x type.
+
+Juve et al. ("Data Sharing Options for Scientific Workflows on Amazon
+EC2") ran the same workflows over NFS, GlusterFS/PVFS, S3 and local-disk
+staging and found the data-sharing backend dominates both runtime and
+dollar cost.  This suite reruns the paper's Fig. 10 columns — deploy a
+fresh cluster, execute use-case steps 3+4, record deployment minutes,
+execution minutes and cost — once per :mod:`repro.storage` backend, and
+pins Juve's qualitative ordering:
+
+* runtime rises from the shared-FS backends to explicit staging to the
+  object store (per-request latency on every stage-in/out);
+* infrastructure cost is highest for the striped parallel FS, which
+  pays for dedicated data nodes the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..core import CloudTestbed
+from ..core.usecase import run_usecase
+from ..reporting import render_table
+from ..storage import STORAGE_BACKENDS, StagingStats
+
+#: instance types the full matrix sweeps (smoke keeps the paper baseline)
+FULL_INSTANCE_TYPES = ("m1.small", "c1.medium", "m1.xlarge")
+SMOKE_INSTANCE_TYPES = ("m1.small",)
+
+
+@dataclass(frozen=True)
+class StorageAblationConfig:
+    instance_type: str = "m1.small"
+    backends: tuple[str, ...] = STORAGE_BACKENDS
+    cluster_nodes: int = 1
+    seed: int = 0
+
+
+@dataclass
+class BackendRow:
+    """One (backend, instance type) cell of the ablation matrix."""
+
+    backend: str
+    instance_type: str
+    deploy_min: float
+    exec_min: float
+    job_cost_usd: float
+    cluster_cost_usd: float
+    cluster_nodes_total: int
+    staged_in_mb: float
+    staged_out_mb: float
+    files_staged: int
+    events_processed: int = 0
+
+
+@dataclass
+class StorageAblationResult:
+    instance_type: str
+    rows: list[BackendRow] = field(default_factory=list)
+
+    def row(self, backend: str) -> BackendRow:
+        return next(r for r in self.rows if r.backend == backend)
+
+    def check_shape(self) -> None:
+        """Juve et al.'s orderings; raises AssertionError when violated."""
+        nfs = self.row("nfs")
+        striped = self.row("striped_fs")
+        local = self.row("local_staging")
+        obj = self.row("object_store")
+        # runtime: shared FS < explicit staging < object store
+        assert nfs.exec_min < striped.exec_min, (
+            "striped_fs must pay metadata+stripe I/O on top of the NFS baseline"
+        )
+        assert striped.exec_min < local.exec_min, (
+            "local staging must be slower than the parallel FS"
+        )
+        assert local.exec_min < obj.exec_min, (
+            "the object store's per-request latency must dominate"
+        )
+        # infra cost: dedicated data nodes make striped_fs the expensive one
+        assert striped.cluster_cost_usd > obj.cluster_cost_usd, (
+            "striped_fs rents data nodes the object store does not"
+        )
+        assert striped.cluster_cost_usd > nfs.cluster_cost_usd
+        assert striped.cluster_nodes_total > nfs.cluster_nodes_total
+        # only the non-POSIX backends stage bytes explicitly
+        assert nfs.files_staged == 0
+        assert obj.files_staged > 0 and local.files_staged > 0
+
+    def render(self) -> str:
+        return render_table(
+            ["backend", "deploy (min)", "exec 3+4 (min)", "job cost (USD)",
+             "cluster cost (USD)", "nodes", "staged in (MB)"],
+            [
+                (
+                    r.backend,
+                    f"{r.deploy_min:.1f}",
+                    f"{r.exec_min:.2f}",
+                    f"{r.job_cost_usd:.4f}",
+                    f"{r.cluster_cost_usd:.4f}",
+                    str(r.cluster_nodes_total),
+                    f"{r.staged_in_mb:.1f}",
+                )
+                for r in self.rows
+            ],
+            title=(
+                "Storage ablation: use-case steps 3+4 per data-sharing "
+                f"backend ({self.instance_type})"
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "instance_type": self.instance_type,
+            "rows": [asdict(r) for r in self.rows],
+            "events_processed": sum(r.events_processed for r in self.rows),
+            "rendered": self.render(),
+        }
+
+
+def run_one(backend: str, config: StorageAblationConfig) -> BackendRow:
+    """One cell: a fresh world deployed on the given backend."""
+    bed = CloudTestbed(seed=config.seed)
+    result = run_usecase(
+        bed=bed,
+        instance_type=config.instance_type,
+        cluster_nodes=config.cluster_nodes,
+        scale_up_with=None,
+        storage=backend,
+    )
+    deployment = result.instance.deployment
+    runtime = deployment.domains["simple"]
+    stats = (
+        StagingStats.of(runtime.storage)
+        if runtime.storage is not None
+        else StagingStats(backend=backend)
+    )
+    mb = 1024.0 * 1024.0
+    return BackendRow(
+        backend=backend,
+        instance_type=config.instance_type,
+        deploy_min=result.deploy_minutes,
+        exec_min=result.steps34_minutes,
+        job_cost_usd=result.steps34_cost_usd(bed),
+        cluster_cost_usd=bed.total_cost("proportional"),
+        cluster_nodes_total=len(deployment.nodes),
+        staged_in_mb=stats.bytes_staged_in / mb,
+        staged_out_mb=stats.bytes_staged_out / mb,
+        files_staged=stats.files_staged,
+        events_processed=bed.ctx.sim.events_processed,
+    )
+
+
+def run(config: StorageAblationConfig | None = None) -> StorageAblationResult:
+    config = config or StorageAblationConfig()
+    result = StorageAblationResult(instance_type=config.instance_type)
+    for backend in config.backends:
+        result.rows.append(run_one(backend, config))
+    return result

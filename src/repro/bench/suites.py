@@ -18,7 +18,16 @@ import time as _time
 from dataclasses import asdict, replace
 
 from .. import calibration
-from . import ablations, figure10, figure11, pricing_sweep, scale, usecase, waas
+from . import (
+    ablations,
+    figure10,
+    figure11,
+    pricing_sweep,
+    scale,
+    storage_ablation,
+    usecase,
+    waas,
+)
 from .harness import BenchSpec, BenchSuite, task
 
 # ---------------------------------------------------------------------------
@@ -69,6 +78,17 @@ def pricing_sweep_run(**config_kwargs) -> dict:
 @task("waas.run")
 def waas_run(**config_kwargs) -> dict:
     result = waas.run(waas.WaasConfig(**config_kwargs))
+    result.check_shape()
+    return result.to_dict()
+
+
+@task("storage.ablation")
+def storage_ablation_run(**config_kwargs) -> dict:
+    if "backends" in config_kwargs:
+        config_kwargs["backends"] = tuple(config_kwargs["backends"])
+    result = storage_ablation.run(
+        storage_ablation.StorageAblationConfig(**config_kwargs)
+    )
     result.check_shape()
     return result.to_dict()
 
@@ -284,6 +304,27 @@ def waas_suite(smoke: bool = False) -> BenchSuite:
     )
 
 
+def storage_ablation_suite(smoke: bool = False) -> BenchSuite:
+    itypes = (
+        storage_ablation.SMOKE_INSTANCE_TYPES
+        if smoke
+        else storage_ablation.FULL_INSTANCE_TYPES
+    )
+    specs = tuple(
+        BenchSpec(
+            name=f"storage/{itype}",
+            task="storage.ablation",
+            params={"instance_type": itype},
+        )
+        for itype in itypes
+    )
+    return BenchSuite(
+        "storage_ablation",
+        "Data-sharing backends: use-case workload per backend x instance type",
+        specs,
+    )
+
+
 def ablations_suite(smoke: bool = False) -> BenchSuite:
     specs = (
         BenchSpec(name="ablations/ami", task="ablations.ami"),
@@ -315,6 +356,7 @@ SUITE_BUILDERS = {
     "pricing_sweep": pricing_sweep_suite,
     "ablations": ablations_suite,
     "waas": waas_suite,
+    "storage_ablation": storage_ablation_suite,
 }
 
 

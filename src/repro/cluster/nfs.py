@@ -28,6 +28,38 @@ def _norm(path: str) -> str:
     return norm
 
 
+def _mount_rel(path: str, mount_point: str) -> Optional[str]:
+    """Relative path of ``path`` under ``mount_point``, or ``None``.
+
+    Both arguments must already be normalized absolute paths.  A mount
+    at ``/`` covers everything; for any other mount point the match is a
+    whole-component prefix (``/home`` covers ``/home/x`` but not
+    ``/homes``).
+    """
+    if mount_point == "/":
+        return path.lstrip("/")
+    if path == mount_point:
+        return ""
+    if path.startswith(mount_point + "/"):
+        return path[len(mount_point) + 1:]
+    return None
+
+
+def bulk_checksum(path: str, size: int, mtime: float) -> str:
+    """Content token for a size-only (bulk) file.
+
+    Two bulk files are only "the same bytes" if one was copied from the
+    other (movers propagate the token via ``write(checksum=...)``).  The
+    token is derived from the identity of the original write — path,
+    declared size, and write time — so re-writing a same-size file mints
+    a fresh token and ``sync_level="checksum"`` re-transfers it, unlike
+    the old ``bulk:{size}`` scheme under which any two equal-size bulk
+    files compared equal.
+    """
+    h = hashlib.sha256(f"{path}|{size}|{mtime!r}".encode()).hexdigest()[:24]
+    return f"bulk:{h}"
+
+
 @dataclass
 class FileNode:
     """Metadata (and optionally content) of one file."""
@@ -54,9 +86,16 @@ class SimFilesystem:
         self.name = name
         self._dirs: set[str] = {"/"}
         self._files: dict[str, FileNode] = {}
+        self._dir_owners: dict[str, str] = {"/": "root"}
 
     # -- directories ---------------------------------------------------------
     def mkdirs(self, path: str, owner: str = "root") -> None:
+        """Create ``path`` and any missing parents, owned by ``owner``.
+
+        Ownership is recorded only for directories this call creates;
+        re-running over an existing tree never rewrites it (mkdir -p
+        semantics: EEXIST is not an error and does not chown).
+        """
         path = _norm(path)
         if path in self._files:
             raise FilesystemError(f"{path} exists as a file")
@@ -66,10 +105,19 @@ class SimFilesystem:
             cur += "/" + part
             if cur in self._files:
                 raise FilesystemError(f"{cur} exists as a file")
-            self._dirs.add(cur)
+            if cur not in self._dirs:
+                self._dirs.add(cur)
+                self._dir_owners[cur] = owner
 
     def isdir(self, path: str) -> bool:
         return _norm(path) in self._dirs
+
+    def dir_owner(self, path: str) -> str:
+        """Owner recorded when the directory was created."""
+        path = _norm(path)
+        if path not in self._dirs:
+            raise FilesystemError(f"no such directory: {path}")
+        return self._dir_owners.get(path, "root")
 
     # -- files ----------------------------------------------------------------
     def write(
@@ -79,6 +127,7 @@ class SimFilesystem:
         size: Optional[int] = None,
         owner: str = "root",
         mtime: float = 0.0,
+        checksum: Optional[str] = None,
     ) -> FileNode:
         """Create or replace a file.
 
@@ -87,6 +136,12 @@ class SimFilesystem:
         embedded descriptor*: the declared size is what transfers and work
         models see, while ``data`` holds a small generative header (how the
         synthetic CEL/BAM archives carry semantics without gigabytes).
+
+        ``checksum`` lets a data mover propagate the source file's content
+        token to the copy it materialises; without it, content files hash
+        their bytes and bulk files mint a fresh :func:`bulk_checksum`
+        token, so an independently re-written file never compares equal to
+        a stale copy under ``sync_level="checksum"``.
         """
         path = _norm(path)
         if path in self._dirs:
@@ -95,11 +150,12 @@ class SimFilesystem:
             raise FilesystemError("write needs data or size")
         self.mkdirs(posixpath.dirname(path) or "/")
         actual_size = int(size) if size is not None else len(data)  # type: ignore[arg-type]
-        checksum = (
-            hashlib.sha256(data).hexdigest()
-            if data is not None
-            else f"bulk:{actual_size}"
-        )
+        if checksum is None:
+            checksum = (
+                hashlib.sha256(data).hexdigest()
+                if data is not None
+                else bulk_checksum(path, actual_size, mtime)
+            )
         node = FileNode(
             path=path, size=actual_size, owner=owner, mtime=mtime, data=data, checksum=checksum
         )
@@ -134,6 +190,7 @@ class SimFilesystem:
             if children or subdirs:
                 raise FilesystemError(f"directory not empty: {path}")
             self._dirs.discard(path)
+            self._dir_owners.pop(path, None)
             return
         raise FilesystemError(f"no such path: {path}")
 
@@ -193,13 +250,13 @@ class Mount:
     def translate(self, path: str) -> str:
         """Node-namespace path -> server-filesystem path."""
         path = _norm(path)
-        mp = self.mount_point.rstrip("/") or "/"
-        if path != mp and not path.startswith(mp + "/"):
+        mp = _norm(self.mount_point)
+        rel = _mount_rel(path, mp)
+        if rel is None:
             raise FilesystemError(f"{path} is not under mount {mp}")
-        rel = path[len(mp):]
         if not rel:
             return _norm(self.server.export)
-        return _norm(posixpath.join(self.server.export, rel.lstrip("/")))
+        return _norm(posixpath.join(self.server.export, rel))
 
 
 class MountTable:
@@ -234,13 +291,17 @@ class MountTable:
         path = _norm(path)
         best: Optional[Mount] = None
         for m in self.mounts:
-            mp = m.mount_point.rstrip("/") or "/"
-            if path == mp or path.startswith(mp + "/"):
-                if best is None or len(m.mount_point) > len(best.mount_point):
+            mp = _norm(m.mount_point)
+            if _mount_rel(path, mp) is not None:
+                if best is None or len(mp) > len(_norm(best.mount_point)):
                     best = m
         if best is None:
             return self.local, path
         return best.server.fs, best.translate(path)
+
+    def is_mount_point(self, path: str) -> bool:
+        path = _norm(path)
+        return any(_norm(m.mount_point) == path for m in self.mounts)
 
     # Thin pass-through helpers so callers can use node.vfs like a fs --------
     def write(self, path: str, **kw) -> FileNode:
@@ -276,5 +337,35 @@ class MountTable:
         return fs.listdir(p)
 
     def remove(self, path: str) -> None:
+        # removing the mount point itself would resolve into (and, when
+        # empty, delete) the server's export root out from under every
+        # other client — a real VFS answers EBUSY
+        if self.is_mount_point(path):
+            raise FilesystemError(f"mount point busy: {_norm(path)}")
         fs, p = self.resolve(path)
         fs.remove(p)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename within one filesystem, or move across a mount boundary.
+
+        A same-filesystem rename delegates to the backing store; when the
+        two paths resolve to different filesystems (local -> NFS or the
+        reverse) the node copies then removes, as ``mv`` does for EXDEV —
+        preserving the file's content token so checksum-level sync still
+        recognises the moved copy.
+        """
+        src_fs, src_p = self.resolve(src)
+        dst_fs, dst_p = self.resolve(dst)
+        if src_fs is dst_fs:
+            src_fs.rename(src_p, dst_p)
+            return
+        node = src_fs.stat(src_p)
+        dst_fs.write(
+            dst_p,
+            data=node.data,
+            size=node.size,
+            owner=node.owner,
+            mtime=node.mtime,
+            checksum=node.checksum,
+        )
+        src_fs.remove(src_p)

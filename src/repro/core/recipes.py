@@ -70,6 +70,17 @@ def build_globus_cookbook() -> Cookbook:
         r.template("/etc/myproxy.conf", content="accepted_credentials *", io_work=1.0)
         r.service("myproxy", io_work=2.0)
 
+    @book.recipe(
+        "parallel-fs-data",
+        description="stripe server of the GlusterFS/PVFS-style shared FS",
+    )
+    def parallel_fs_data(r, node):
+        r.package("parallel-fs-server", io_work=25.0, cpu_work=4.0)
+        r.directory("/export/stripe", io_work=1.0)
+        r.template("/etc/parallel-fs/stripe.conf", content="role=data",
+                   io_work=1.0)
+        r.service("parallel-fs-data", io_work=2.0)
+
     @book.recipe("condor-head", description="Condor collector/negotiator/schedd")
     def condor_head(r, node):
         r.package("condor", io_work=45.0, cpu_work=6.0)

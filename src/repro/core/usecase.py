@@ -35,6 +35,8 @@ def usecase_topology(
     instance_type: str = "m1.small",
     cluster_nodes: int = 1,
     users: tuple[str, ...] = ("boliu", "user2"),
+    storage: str = "nfs",
+    storage_nodes: int = 0,
 ) -> Topology:
     """The paper's galaxy.conf, parameterised by instance type/count."""
     from ..provision.topology import EC2Spec
@@ -50,6 +52,8 @@ def usecase_topology(
                 crdata=True,
                 cluster_nodes=cluster_nodes,
                 go_endpoint="cvrg#galaxy",
+                storage=storage,
+                storage_nodes=storage_nodes,
             ),
         ),
         ec2=EC2Spec(instance_type=instance_type),
@@ -104,18 +108,20 @@ def run_usecase(
     scale_up_with: Optional[str] = "c1.medium",
     run_large: bool = True,
     seed: int = 0,
+    storage: str = "nfs",
 ) -> UseCaseResult:
     """Execute the full scenario; returns once the simulation settles.
 
     ``scale_up_with=None`` keeps the original cluster for step 4 (the
     Fig. 10 configuration: both analyses on one instance type).
+    ``storage`` picks the data-sharing backend (``repro.storage``).
     """
     bed = bed if bed is not None else CloudTestbed(seed=seed)
     gp = GlobusProvision(bed)
     holder: dict = {}
 
     def scenario():
-        topology = usecase_topology(instance_type, cluster_nodes)
+        topology = usecase_topology(instance_type, cluster_nodes, storage=storage)
         gpi = gp.create(topology)
         yield from gp.start(gpi.id)
         deployment = gpi.deployment

@@ -284,6 +284,9 @@ class JobManager:
         self.runner = runner if runner is not None else LocalJobRunner(ctx)
         self.prep_overhead_s = prep_overhead_s
         self.finalize_overhead_s = finalize_overhead_s
+        #: shared-storage backend pricing per-job stage-in/out (None or an
+        #: NFS backend charges nothing: job I/O lives in the work models)
+        self.storage = None
         self.services = dict(services or {})
         self.jobs: dict[int, Job] = {}
         self._next_job_id = 1
@@ -408,9 +411,24 @@ class JobManager:
                 cpu, io = tool.work_model(
                     job.params, [d.size for d in job.inputs]
                 )
+                # Explicit stage-in for backends without a worker-side
+                # namespace.  Zero-cost backends (NFS) schedule no event
+                # at all, keeping the default sim JSON byte-identical.
+                if self.storage is not None:
+                    stage_in = self.storage.stage_in_seconds(
+                        [(d.file_path, d.size) for d in job.inputs]
+                    )
+                    if stage_in > 0.0:
+                        yield self.ctx.sim.timeout(stage_in)
                 machine = yield from self.runner.dispatch(job, cpu, io)
                 job.machine = machine or "unknown"
                 tool.execute(run)
+                if self.storage is not None:
+                    stage_out = self.storage.stage_out_seconds(
+                        [(d.file_path, d.size) for d in job.outputs.values()]
+                    )
+                    if stage_out > 0.0:
+                        yield self.ctx.sim.timeout(stage_out)
         except Exception as exc:  # noqa: BLE001 - job errors surface in the UI
             self._finish_error(job, str(exc), run)
             return

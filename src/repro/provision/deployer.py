@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 from ..cluster import ClusterNode, CondorPool, NFSServer, NISDomain
 from ..galaxy import CondorJobRunner, GalaxyApp, GalaxyConfig, LocalJobRunner
 from ..galaxy.upload_tools import install_upload_tools
+from ..storage import SharedStorageBackend, make_backend
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
     from ..core.testbed import CloudTestbed
@@ -46,6 +47,7 @@ class DomainRuntime:
 
     spec: DomainSpec
     nfs: Optional[NFSServer] = None
+    storage: Optional[SharedStorageBackend] = None
     nis: Optional[NISDomain] = None
     pool: Optional[CondorPool] = None
     galaxy: Optional[GalaxyApp] = None
@@ -222,12 +224,11 @@ class Deployer:
     def _wire_nfs_nis(self, dom: DomainSpec, runtime: DomainRuntime, nodes) -> None:
         server_node = next((n for n in nodes if n.has_role("nfs")), None)
         if dom.nfs and server_node is not None:
-            runtime.nfs = NFSServer(
-                fs=server_node.local_fs, export="/export/home",
-                hostname=server_node.hostname,
-            )
+            backend = make_backend(dom.storage, data_nodes=dom.stripe_data_nodes())
+            runtime.storage = backend
+            runtime.nfs = backend.build_server(server_node)
             for node in nodes:
-                if node is not server_node:
+                if node is not server_node and backend.should_mount(node):
                     node.vfs.mount(runtime.nfs, at="/home")
         runtime.nis = NISDomain(dom.name)
         for username in dom.users:
@@ -305,6 +306,9 @@ class Deployer:
         app.jobs.services["transfer_client_factory"] = self._make_client_factory(app)
         app.jobs.services["galaxy_fs"] = app.fs
         app.jobs.services["galaxy_config"] = app.config
+        # non-NFS backends charge explicit stage-in/out around each job
+        app.jobs.storage = runtime.storage
+        app.jobs.services["storage"] = runtime.storage
         # the researcher's workstation, reachable by the stock upload tools
         app.jobs.services["user_workstation_fs"] = getattr(
             self.bed, "laptop_fs", None
@@ -396,7 +400,11 @@ class Deployer:
 
     def _join_domain(self, deployment: Deployment, node: ClusterNode, domain: str) -> None:
         runtime = self._runtime_for(deployment, domain)
-        if runtime.nfs is not None and not node.has_role("nfs"):
+        if (
+            runtime.nfs is not None
+            and not node.has_role("nfs")
+            and (runtime.storage is None or runtime.storage.should_mount(node))
+        ):
             node.vfs.mount(runtime.nfs, at="/home")
         if runtime.nis is not None:
             node.nis.bind(runtime.nis)

@@ -38,8 +38,14 @@ class DomainSpec:
     go_endpoint: Optional[str] = None
     #: explicit per-worker instance types; pads with the EC2 default
     worker_instance_types: tuple[str, ...] = ()
+    #: data-sharing backend: nfs | object_store | striped_fs | local_staging
+    storage: str = "nfs"
+    #: dedicated data nodes for striped_fs (0 = backend default)
+    storage_nodes: int = 0
 
     def __post_init__(self) -> None:
+        from ..storage import STORAGE_BACKENDS
+
         if self.cluster_nodes < 0:
             raise TopologyError("cluster-nodes must be >= 0")
         if self.cluster_nodes and not self.condor:
@@ -50,6 +56,23 @@ class DomainSpec:
             raise TopologyError(
                 f"go-endpoint {self.go_endpoint!r} must be 'owner#name'"
             )
+        if self.storage not in STORAGE_BACKENDS:
+            raise TopologyError(
+                f"unknown storage backend {self.storage!r}; "
+                f"known: {list(STORAGE_BACKENDS)}"
+            )
+        if self.storage_nodes < 0:
+            raise TopologyError("storage-nodes must be >= 0")
+        if self.storage_nodes and self.storage != "striped_fs":
+            raise TopologyError("storage-nodes requires storage: striped_fs")
+
+    def stripe_data_nodes(self) -> int:
+        """Concrete data-node count for striped_fs (0 for other backends)."""
+        if self.storage != "striped_fs":
+            return 0
+        from .. import calibration
+
+        return self.storage_nodes or calibration.STORAGE_STRIPE_DEFAULT_NODES
 
     def worker_types(self, default_type: str) -> tuple[str, ...]:
         explicit = tuple(self.worker_instance_types)
@@ -124,6 +147,16 @@ class Topology:
                         domain=dom.name,
                         roles=frozenset({"nfs", "nis"}),
                         run_list=tuple(run_list),
+                        instance_type=default_type,
+                    )
+                )
+            for i in range(1, dom.stripe_data_nodes() + 1):
+                plan.append(
+                    NodeSpec(
+                        name=f"{dom.name}-stripe-d{i}",
+                        domain=dom.name,
+                        roles=frozenset({"stripe-data"}),
+                        run_list=("globus::common", "globus::parallel-fs-data"),
                         instance_type=default_type,
                     )
                 )
@@ -245,6 +278,8 @@ class Topology:
                     worker_instance_types=tuple(
                         sec.get("worker-instance-types", "").split()
                     ),
+                    storage=sec.get("storage", fallback="nfs"),
+                    storage_nodes=sec.getint("storage-nodes", fallback=0),
                 )
             )
         ec2_kwargs = {}

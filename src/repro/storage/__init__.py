@@ -1,0 +1,27 @@
+"""Shared-storage backends: the data-sharing axis of a deployment."""
+
+from .backends import (
+    STORAGE_BACKENDS,
+    LocalStagingBackend,
+    NFSBackend,
+    ObjectStore,
+    ObjectStoreBackend,
+    SharedStorageBackend,
+    StagingStats,
+    StorageError,
+    StripedFSBackend,
+    make_backend,
+)
+
+__all__ = [
+    "STORAGE_BACKENDS",
+    "LocalStagingBackend",
+    "NFSBackend",
+    "ObjectStore",
+    "ObjectStoreBackend",
+    "SharedStorageBackend",
+    "StagingStats",
+    "StorageError",
+    "StripedFSBackend",
+    "make_backend",
+]

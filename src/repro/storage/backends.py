@@ -1,0 +1,340 @@
+"""Pluggable shared-storage backends behind the NFS interface.
+
+The paper's Fig. 2 topology hard-wires one data-sharing choice: an NFS
+head node serving ``/home`` to every other node.  Juve et al. ("Data
+Sharing Options for Scientific Workflows on Amazon EC2") showed the
+backend choice dominates workflow runtime and cost, so the deployment
+layer takes the backend as a ``storage=`` axis instead:
+
+``nfs``
+    Today's model, unchanged: the head server exports its filesystem and
+    every node mounts it.  Job I/O is already priced inside the tool work
+    models, so the stage-in/out surcharge is exactly zero — the default
+    produces byte-identical simulations to the pre-refactor code.
+
+``object_store``
+    An S3-style keyed store (:class:`ObjectStore`): no POSIX namespace on
+    the workers, GET/PUT per object with a per-request latency, requests
+    issued in waves of a configurable parallelism.  Only the Galaxy head
+    and the GridFTP gateway mount the shared namespace; each job pays an
+    explicit stage-in of its inputs and stage-out of its outputs.
+
+``striped_fs``
+    A GlusterFS/PVFS-style parallel filesystem striping across N
+    dedicated data nodes.  All nodes mount the namespace; reads/writes
+    pay a per-file metadata operation plus the striped transfer at the
+    aggregate of the per-stripe LAN paths (modelled with the existing
+    :mod:`repro.cloud.network` path model), capped by the client NIC.
+
+``local_staging``
+    Node-local disk plus explicit GridFTP staging between steps: workers
+    hold no shared mount, and each job pays a per-file GridFTP setup plus
+    a single LAN stream for its input/output bytes.
+
+Backends are pure timing/wiring policies: namespace contents always live
+on the head server's :class:`~repro.cluster.nfs.SimFilesystem`, so tool
+``execute`` bodies and Globus transfers see one consistent tree no matter
+which backend priced the movement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .. import calibration
+from ..cloud.network import NetworkPath, aggregate_rate_bps
+from ..cluster.nfs import NFSServer
+
+#: every recognised value of the topology ``storage=`` axis
+STORAGE_BACKENDS = ("nfs", "object_store", "striped_fs", "local_staging")
+
+#: (path, size_bytes) pairs — what the Galaxy job layer stages
+FileSet = Sequence[tuple[str, int]]
+
+
+class StorageError(Exception):
+    pass
+
+
+def _gated_lan_path(bottleneck_mbps: float) -> NetworkPath:
+    """An intra-cluster path whose bottleneck is the given link rate."""
+    lan = NetworkPath.lan()
+    return NetworkPath(
+        rtt_s=lan.rtt_s, loss=lan.loss, bottleneck_bps=bottleneck_mbps * 1e6
+    )
+
+
+class SharedStorageBackend:
+    """Wiring + timing policy for one data-sharing choice.
+
+    Subclasses override the class attributes and the two ``*_seconds``
+    models; the deployer asks :meth:`should_mount` per node and the
+    Galaxy job manager charges :meth:`stage_in_seconds` /
+    :meth:`stage_out_seconds` around each work-model job.
+    """
+
+    name: str = "base"
+    #: do compute (condor-worker) nodes mount the shared namespace?
+    mounts_workers: bool = True
+
+    def __init__(self) -> None:
+        self.bytes_staged_in = 0
+        self.bytes_staged_out = 0
+        self.files_staged = 0
+
+    # -- wiring ------------------------------------------------------------
+    def build_server(self, server_node) -> NFSServer:
+        """The namespace server exported from the head storage node."""
+        return NFSServer(
+            fs=server_node.local_fs,
+            export="/export/home",
+            hostname=server_node.hostname,
+        )
+
+    def should_mount(self, node) -> bool:
+        """Whether ``node`` gets the shared namespace mounted at /home."""
+        if node.has_role("stripe-data"):
+            return False  # data servers hold stripes, not the namespace
+        if self.mounts_workers:
+            return True
+        return node.has_role("galaxy") or node.has_role("gridftp")
+
+    # -- timing ------------------------------------------------------------
+    def stage_in_seconds(self, files: FileSet) -> float:
+        return 0.0
+
+    def stage_out_seconds(self, files: FileSet) -> float:
+        return 0.0
+
+    # -- bookkeeping -------------------------------------------------------
+    def _account(self, files: FileSet, direction: str) -> int:
+        total = sum(size for _path, size in files)
+        self.files_staged += len(files)
+        if direction == "in":
+            self.bytes_staged_in += total
+        else:
+            self.bytes_staged_out += total
+        return total
+
+    def describe(self) -> dict:
+        return {"name": self.name, "mounts_workers": self.mounts_workers}
+
+
+class NFSBackend(SharedStorageBackend):
+    """The paper's configuration: one NFS export mounted everywhere.
+
+    Job I/O against the share is already inside the tool work models
+    (calibrated to Fig. 10), so this backend adds no staging events at
+    all — keeping the default byte-identical to the pre-backend code.
+    """
+
+    name = "nfs"
+    mounts_workers = True
+
+
+class ObjectStore:
+    """S3-style keyed store: GET/PUT objects, no namespace, no rename."""
+
+    def __init__(self, name: str = "objectstore") -> None:
+        self.name = name
+        self._objects: dict[str, int] = {}
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, key: str, size: int) -> None:
+        if size < 0:
+            raise StorageError("object size must be >= 0")
+        self._objects[key] = size
+        self.puts += 1
+
+    def get(self, key: str) -> int:
+        try:
+            size = self._objects[key]
+        except KeyError:
+            raise StorageError(f"no such object: {key}") from None
+        self.gets += 1
+        return size
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self) -> list[str]:
+        return sorted(self._objects)
+
+    def transfer_seconds(self, n_files: int, total_bytes: int, parallel: int) -> float:
+        """Wave model: requests issued ``parallel`` at a time, bandwidth
+        aggregated across the concurrent connections."""
+        if n_files <= 0:
+            return 0.0
+        waves = math.ceil(n_files / parallel)
+        latency = waves * calibration.STORAGE_OBJECT_REQUEST_S
+        conns = min(parallel, n_files)
+        rate_bps = conns * calibration.STORAGE_OBJECT_CONN_MBPS * 1e6
+        return latency + total_bytes * 8.0 / rate_bps
+
+
+class ObjectStoreBackend(SharedStorageBackend):
+    """Keyed GET/PUT staging against an :class:`ObjectStore`.
+
+    Workers see no POSIX namespace — the store is reached through
+    explicit per-job stage-in (GET every input) and stage-out (PUT every
+    output), each request paying the per-round-trip latency.
+    """
+
+    name = "object_store"
+    mounts_workers = False
+
+    def __init__(self, parallel: int = calibration.STORAGE_OBJECT_PARALLEL) -> None:
+        super().__init__()
+        if parallel < 1:
+            raise StorageError("object-store parallelism must be >= 1")
+        self.parallel = parallel
+        self.store = ObjectStore()
+
+    def stage_in_seconds(self, files: FileSet) -> float:
+        total = self._account(files, "in")
+        for path, size in files:
+            # inputs that arrived through the gateway (upload, Globus
+            # transfer) were never PUT by a job; seed them on first GET
+            if not self.store.exists(path):
+                self.store.put(path, size)
+            self.store.get(path)
+        return self.store.transfer_seconds(len(files), total, self.parallel)
+
+    def stage_out_seconds(self, files: FileSet) -> float:
+        total = self._account(files, "out")
+        for path, size in files:
+            self.store.put(path, size)
+        return self.store.transfer_seconds(len(files), total, self.parallel)
+
+    def describe(self) -> dict:
+        doc = super().describe()
+        doc.update(parallel=self.parallel, objects=len(self.store.keys()))
+        return doc
+
+
+class StripedFSBackend(SharedStorageBackend):
+    """GlusterFS/PVFS-style striping across dedicated data nodes.
+
+    Every node mounts the namespace (like NFS), but reads and writes pay
+    an explicit per-file metadata operation plus the striped transfer:
+    one LAN path per data node, rates summed and capped by the client
+    NIC — the ``cloud.network`` model doing the aggregation.
+    """
+
+    name = "striped_fs"
+    mounts_workers = True
+
+    def __init__(
+        self, data_nodes: int = calibration.STORAGE_STRIPE_DEFAULT_NODES
+    ) -> None:
+        super().__init__()
+        if data_nodes < 1:
+            raise StorageError("striped_fs needs at least one data node")
+        self.data_nodes = data_nodes
+
+    def aggregate_bps(self) -> float:
+        stripe_path = _gated_lan_path(calibration.STORAGE_STRIPE_NODE_MBPS)
+        per_stripe = aggregate_rate_bps(
+            stripe_path, 1, calibration.GO_WINDOW_BYTES
+        )
+        return min(
+            self.data_nodes * per_stripe,
+            calibration.STORAGE_STRIPE_CLIENT_MBPS * 1e6,
+        )
+
+    def _io_seconds(self, files: FileSet) -> float:
+        if not files:
+            return 0.0
+        total = sum(size for _path, size in files)
+        meta = len(files) * calibration.STORAGE_STRIPE_META_S
+        return meta + total * 8.0 / self.aggregate_bps()
+
+    def stage_in_seconds(self, files: FileSet) -> float:
+        self._account(files, "in")
+        return self._io_seconds(files)
+
+    def stage_out_seconds(self, files: FileSet) -> float:
+        self._account(files, "out")
+        return self._io_seconds(files)
+
+    def describe(self) -> dict:
+        doc = super().describe()
+        doc.update(
+            data_nodes=self.data_nodes,
+            aggregate_mbps=self.aggregate_bps() / 1e6,
+        )
+        return doc
+
+
+class LocalStagingBackend(SharedStorageBackend):
+    """Node-local disk plus explicit GridFTP staging between steps.
+
+    Workers keep everything on local disk; each job's inputs are pulled
+    from (and outputs pushed to) the gateway with one GridFTP transfer
+    per file — a control-channel setup plus a single LAN stream.
+    """
+
+    name = "local_staging"
+    mounts_workers = False
+
+    def _io_seconds(self, files: FileSet) -> float:
+        if not files:
+            return 0.0
+        total = sum(size for _path, size in files)
+        stream_path = _gated_lan_path(calibration.STORAGE_LOCAL_STREAM_MBPS)
+        rate = aggregate_rate_bps(stream_path, 1, calibration.GO_WINDOW_BYTES)
+        return len(files) * calibration.STORAGE_LOCAL_SETUP_S + total * 8.0 / rate
+
+    def stage_in_seconds(self, files: FileSet) -> float:
+        self._account(files, "in")
+        return self._io_seconds(files)
+
+    def stage_out_seconds(self, files: FileSet) -> float:
+        self._account(files, "out")
+        return self._io_seconds(files)
+
+
+def make_backend(
+    name: str, data_nodes: int = 0, parallel: Optional[int] = None
+) -> SharedStorageBackend:
+    """Instantiate the backend for a topology's ``storage=`` value."""
+    if name == "nfs":
+        return NFSBackend()
+    if name == "object_store":
+        return ObjectStoreBackend(
+            parallel=parallel if parallel is not None
+            else calibration.STORAGE_OBJECT_PARALLEL
+        )
+    if name == "striped_fs":
+        return StripedFSBackend(
+            data_nodes=data_nodes or calibration.STORAGE_STRIPE_DEFAULT_NODES
+        )
+    if name == "local_staging":
+        return LocalStagingBackend()
+    raise StorageError(
+        f"unknown storage backend {name!r}; known: {list(STORAGE_BACKENDS)}"
+    )
+
+
+@dataclass
+class StagingStats:
+    """Snapshot of a backend's movement counters (payload reporting)."""
+
+    backend: str
+    bytes_staged_in: int = 0
+    bytes_staged_out: int = 0
+    files_staged: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, backend: SharedStorageBackend) -> "StagingStats":
+        return cls(
+            backend=backend.name,
+            bytes_staged_in=backend.bytes_staged_in,
+            bytes_staged_out=backend.bytes_staged_out,
+            files_staged=backend.files_staged,
+            extra=backend.describe(),
+        )

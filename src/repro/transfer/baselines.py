@@ -63,7 +63,13 @@ class _BaselineUploader:
             raise UploadError(str(exc)) from exc
         start = self.ctx.now
         yield self.ctx.sim.timeout(seconds)
-        dst_fs.write(dst_path, data=node.data, size=node.size, mtime=self.ctx.now)
+        dst_fs.write(
+            dst_path,
+            data=node.data,
+            size=node.size,
+            mtime=self.ctx.now,
+            checksum=node.checksum,
+        )
         elapsed = self.ctx.now - start
         self.ctx.log(
             "upload", model.name, path=dst_path, bytes=node.size, seconds=elapsed

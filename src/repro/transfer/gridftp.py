@@ -114,13 +114,20 @@ class GridFTPServer:
         return sorted(out)
 
     def store(self, path: str, src_node: FileNode, now: float) -> None:
-        """Materialise a received file (content and declared size both copy)."""
+        """Materialise a received file (content and declared size both copy).
+
+        The source's content token rides along, so a later
+        ``sync_level="checksum"`` compare recognises the copy — while a
+        file independently re-written at the source (fresh token) is
+        re-transferred even at the same size.
+        """
         self.fs.write(
             path,
             data=src_node.data,
             size=src_node.size,
             owner=src_node.owner,
             mtime=now,
+            checksum=src_node.checksum,
         )
         self.bytes_moved += src_node.size
 

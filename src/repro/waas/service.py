@@ -40,12 +40,15 @@ def waas_topology(
     base_workers: int,
     instance_type: str = "m1.small",
     domain: str = "waas",
+    storage: str = "nfs",
+    storage_nodes: int = 0,
 ) -> Topology:
     """A lean WaaS pool: NFS/NIS head + Condor workers, no Galaxy tier.
 
     The front door submits to Condor directly, so the topology skips the
     Galaxy/GridFTP nodes the interactive deployments carry — at 100k
-    tenants the head-node tax would be pure noise.
+    tenants the head-node tax would be pure noise.  ``storage`` picks the
+    data-sharing backend (``repro.storage``) for the pool.
     """
     return Topology(
         domains=(
@@ -55,6 +58,8 @@ def waas_topology(
                 nfs=True,
                 condor=True,
                 cluster_nodes=base_workers,
+                storage=storage,
+                storage_nodes=storage_nodes,
             ),
         ),
         ec2=EC2Spec(instance_type=instance_type),

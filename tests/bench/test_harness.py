@@ -176,7 +176,7 @@ def test_combined_suite_concatenates_in_registry_order():
     combined = suites.combined(smoke=True)
     names = [s.name for s in combined.specs]
     assert names[0].startswith("fig10/")
-    assert names[-1].startswith("waas/")
+    assert names[-1].startswith("storage/")
     assert combined.name == "smoke"
     assert suites.combined(["scale"], smoke=True).name == "scale-smoke"
 

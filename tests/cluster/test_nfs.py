@@ -152,3 +152,167 @@ def test_property_mkdirs_makes_every_prefix_a_dir(parts):
     for p in parts:
         cur += "/" + p
         assert fs.isdir(cur)
+
+
+# ---------------------------------------------------------------------------
+# Bulk-file content tokens (regression: the old scheme was `bulk:{size}`,
+# so any two equal-size bulk files compared equal and checksum-level sync
+# silently skipped real transfers)
+# ---------------------------------------------------------------------------
+
+
+def test_distinct_same_size_bulk_files_get_distinct_checksums():
+    fs = SimFilesystem()
+    a = fs.write("/data/a.zip", size=1000)
+    b = fs.write("/data/b.zip", size=1000)
+    assert a.checksum != b.checksum
+    assert a.checksum.startswith("bulk:")
+
+
+def test_rewritten_same_size_bulk_file_mints_a_fresh_token():
+    fs = SimFilesystem()
+    first = fs.write("/data/a.zip", size=1000, mtime=1.0).checksum
+    second = fs.write("/data/a.zip", size=1000, mtime=2.0).checksum
+    assert first != second
+
+
+def test_mover_propagated_checksum_survives_the_copy():
+    src = SimFilesystem("src")
+    dst = SimFilesystem("dst")
+    node = src.write("/a.zip", size=1000, mtime=1.0)
+    copy = dst.write("/b.zip", size=node.size, mtime=5.0, checksum=node.checksum)
+    assert copy.checksum == node.checksum
+
+
+def test_content_files_still_hash_their_bytes():
+    fs = SimFilesystem()
+    a = fs.write("/a.txt", data=b"same bytes")
+    b = fs.write("/b.txt", data=b"same bytes")
+    assert a.checksum == b.checksum  # true content equality still dedups
+
+
+# ---------------------------------------------------------------------------
+# Mounts at / and longest-prefix resolution (regression: a mount at "/"
+# never matched because the prefix check degenerated to startswith("//"))
+# ---------------------------------------------------------------------------
+
+
+def test_mount_at_root_translates_every_path():
+    server = NFSServer(fs=SimFilesystem("srv"), export="/srv")
+    node = MountTable(SimFilesystem())
+    m = node.mount(server, at="/")
+    assert m.translate("/") == "/srv"
+    assert m.translate("/data/x") == "/srv/data/x"
+    node.write("/data/x", data=b"rooted")
+    assert server.fs.read("/srv/data/x") == b"rooted"
+    assert node.read("/data/x") == b"rooted"
+
+
+def test_root_mount_loses_to_longer_prefixes():
+    root_srv = NFSServer(fs=SimFilesystem(), export="/root-export")
+    data_srv = NFSServer(fs=SimFilesystem(), export="/data-export")
+    node = MountTable(SimFilesystem())
+    node.mount(root_srv, at="/")
+    node.mount(data_srv, at="/data")
+    node.write("/data/f", data=b"deep")
+    node.write("/other/f", data=b"shallow")
+    assert data_srv.fs.exists("/data-export/f")
+    assert root_srv.fs.exists("/root-export/other/f")
+    assert not root_srv.fs.exists("/root-export/data/f")
+
+
+def test_mount_component_boundary_is_respected():
+    server = NFSServer(fs=SimFilesystem(), export="/x")
+    node = MountTable(SimFilesystem())
+    node.mount(server, at="/home")
+    node.write("/homes/f", data=b"local")  # /homes is NOT under /home
+    assert node.local.exists("/homes/f")
+    assert not server.fs.exists("/x/f")
+    with pytest.raises(FilesystemError, match="not under mount"):
+        node.mounts[0].translate("/homes/f")
+
+
+# ---------------------------------------------------------------------------
+# Directory ownership (regression: mkdirs silently dropped `owner`)
+# ---------------------------------------------------------------------------
+
+
+def test_mkdirs_records_owner_of_created_directories():
+    fs = SimFilesystem()
+    fs.mkdirs("/home/boliu", owner="boliu")
+    assert fs.dir_owner("/home/boliu") == "boliu"
+    assert fs.dir_owner("/home") == "boliu"
+    assert fs.dir_owner("/") == "root"
+
+
+def test_mkdirs_over_existing_tree_does_not_chown():
+    fs = SimFilesystem()
+    fs.mkdirs("/home/boliu", owner="boliu")
+    fs.mkdirs("/home/boliu/sub", owner="galaxy")
+    assert fs.dir_owner("/home/boliu") == "boliu"
+    assert fs.dir_owner("/home/boliu/sub") == "galaxy"
+
+
+def test_dir_owner_of_missing_directory_raises():
+    fs = SimFilesystem()
+    with pytest.raises(FilesystemError, match="no such directory"):
+        fs.dir_owner("/nope")
+
+
+def test_removed_directory_forgets_its_owner():
+    fs = SimFilesystem()
+    fs.mkdirs("/scratch", owner="boliu")
+    fs.remove("/scratch")
+    fs.mkdirs("/scratch", owner="galaxy")
+    assert fs.dir_owner("/scratch") == "galaxy"
+
+
+# ---------------------------------------------------------------------------
+# MountTable edge cases the storage backends rely on
+# ---------------------------------------------------------------------------
+
+
+def test_umount_while_resolving_falls_back_to_local():
+    server = NFSServer(fs=SimFilesystem(), export="/x")
+    node = MountTable(SimFilesystem())
+    node.mount(server, at="/mnt")
+    node.write("/mnt/f", data=b"remote")
+    node.umount("/mnt")
+    # the same path now resolves locally: the remote file is invisible
+    assert not node.exists("/mnt/f")
+    assert server.fs.read("/x/f") == b"remote"
+    node.mount(server, at="/mnt")
+    assert node.read("/mnt/f") == b"remote"
+
+
+def test_remove_of_mount_point_raises_busy_not_export_deletion():
+    server = NFSServer(fs=SimFilesystem(), export="/export/home")
+    node = MountTable(SimFilesystem())
+    node.mount(server, at="/home")
+    with pytest.raises(FilesystemError, match="busy"):
+        node.remove("/home")
+    # the server's export root must survive the attempt
+    assert server.fs.isdir("/export/home")
+    assert node.is_mount_point("/home")
+
+
+def test_rename_across_mount_boundary_copies_and_preserves_token():
+    server = NFSServer(fs=SimFilesystem(), export="/x")
+    node = MountTable(SimFilesystem())
+    node.mount(server, at="/shared")
+    bulk = node.write("/tmp/big.zip", size=4096, mtime=3.0)
+    node.rename("/tmp/big.zip", "/shared/big.zip")
+    assert not node.local.exists("/tmp/big.zip")
+    moved = server.fs.stat("/x/big.zip")
+    assert moved.size == 4096
+    assert moved.checksum == bulk.checksum  # EXDEV copy keeps the token
+
+
+def test_rename_within_one_mount_delegates_to_the_backing_fs():
+    server = NFSServer(fs=SimFilesystem(), export="/x")
+    node = MountTable(SimFilesystem())
+    node.mount(server, at="/shared")
+    node.write("/shared/a", data=b"payload")
+    node.rename("/shared/a", "/shared/sub/b")
+    assert server.fs.read("/x/sub/b") == b"payload"
+    assert not server.fs.exists("/x/a")

@@ -1,0 +1,189 @@
+"""Unit tests for the pluggable shared-storage backends."""
+
+import pytest
+
+from repro import calibration
+from repro.cluster.nfs import SimFilesystem
+from repro.storage import (
+    STORAGE_BACKENDS,
+    LocalStagingBackend,
+    NFSBackend,
+    ObjectStore,
+    ObjectStoreBackend,
+    StagingStats,
+    StorageError,
+    StripedFSBackend,
+    make_backend,
+)
+
+MB = 1024 * 1024
+FILES = [("/home/galaxy/a.dat", 10 * MB), ("/home/galaxy/b.dat", 20 * MB)]
+
+
+class FakeNode:
+    """Just enough of a ClusterNode for should_mount decisions."""
+
+    def __init__(self, *roles):
+        self.roles = set(roles)
+
+    def has_role(self, role):
+        return role in self.roles
+
+
+# -- factory ---------------------------------------------------------------
+def test_factory_builds_every_registered_backend():
+    for name in STORAGE_BACKENDS:
+        assert make_backend(name).name == name
+
+
+def test_factory_rejects_unknown_backend():
+    with pytest.raises(StorageError, match="unknown storage backend"):
+        make_backend("ceph")
+
+
+def test_factory_defaults_striped_data_nodes_from_calibration():
+    backend = make_backend("striped_fs")
+    assert backend.data_nodes == calibration.STORAGE_STRIPE_DEFAULT_NODES
+    assert make_backend("striped_fs", data_nodes=3).data_nodes == 3
+
+
+def test_striped_backend_requires_a_data_node():
+    with pytest.raises(StorageError, match="at least one data node"):
+        StripedFSBackend(0)
+
+
+def test_object_backend_requires_positive_parallelism():
+    with pytest.raises(StorageError, match="parallelism"):
+        make_backend("object_store", parallel=0)
+
+
+# -- the keyed object store ------------------------------------------------
+def test_object_store_put_get_roundtrip_and_counters():
+    store = ObjectStore()
+    store.put("a", 10)
+    store.put("b", 20)
+    assert store.get("a") == 10
+    assert store.exists("b") and not store.exists("c")
+    assert store.keys() == ["a", "b"]
+    assert store.puts == 2 and store.gets == 1
+
+
+def test_object_store_get_of_missing_key_raises():
+    with pytest.raises(StorageError, match="no such object"):
+        ObjectStore().get("nope")
+
+
+def test_object_store_rejects_negative_sizes():
+    with pytest.raises(StorageError):
+        ObjectStore().put("a", -1)
+
+
+def test_object_store_wave_model():
+    store = ObjectStore()
+    # one file: one wave of latency plus one connection's bandwidth
+    one = store.transfer_seconds(1, 25_000_000, parallel=4)
+    assert one == pytest.approx(
+        calibration.STORAGE_OBJECT_REQUEST_S
+        + 25_000_000 * 8.0 / (calibration.STORAGE_OBJECT_CONN_MBPS * 1e6)
+    )
+    # five files at parallel=4: two waves, bandwidth across four connections
+    assert store.transfer_seconds(5, 0, parallel=4) == pytest.approx(
+        2 * calibration.STORAGE_OBJECT_REQUEST_S
+    )
+    assert store.transfer_seconds(0, 0, parallel=4) == 0.0
+
+
+def test_object_backend_seeds_gateway_files_then_gets_them():
+    backend = ObjectStoreBackend()
+    backend.stage_in_seconds(FILES)
+    # inputs that arrived via upload/Globus are seeded with a PUT, then GET
+    assert backend.store.puts == len(FILES)
+    assert backend.store.gets == len(FILES)
+    backend.stage_in_seconds(FILES)  # second job: already seeded
+    assert backend.store.puts == len(FILES)
+    assert backend.store.gets == 2 * len(FILES)
+
+
+def test_object_backend_stage_out_puts_every_output():
+    backend = ObjectStoreBackend()
+    backend.stage_out_seconds(FILES)
+    assert backend.store.keys() == sorted(p for p, _ in FILES)
+
+
+# -- striping --------------------------------------------------------------
+def test_striped_aggregate_scales_with_data_nodes_up_to_client_nic():
+    one = StripedFSBackend(1).aggregate_bps()
+    two = StripedFSBackend(2).aggregate_bps()
+    assert one == pytest.approx(calibration.STORAGE_STRIPE_NODE_MBPS * 1e6)
+    # two stripes would exceed the client NIC: capped there
+    assert two == pytest.approx(calibration.STORAGE_STRIPE_CLIENT_MBPS * 1e6)
+    assert StripedFSBackend(3).aggregate_bps() == two
+
+
+def test_striped_io_charges_metadata_per_file():
+    backend = StripedFSBackend(2)
+    empty = backend.stage_in_seconds([("/a", 0), ("/b", 0)])
+    assert empty == pytest.approx(2 * calibration.STORAGE_STRIPE_META_S)
+
+
+# -- cross-backend timing invariants ---------------------------------------
+def test_nfs_backend_charges_nothing():
+    backend = NFSBackend()
+    assert backend.stage_in_seconds(FILES) == 0.0
+    assert backend.stage_out_seconds(FILES) == 0.0
+
+
+def test_staging_cost_ordering_matches_juve():
+    striped = StripedFSBackend(2).stage_in_seconds(FILES)
+    local = LocalStagingBackend().stage_in_seconds(FILES)
+    obj = ObjectStoreBackend().stage_in_seconds(FILES)
+    assert 0.0 < striped < local < obj
+
+
+# -- wiring: who mounts the namespace --------------------------------------
+def test_shared_fs_backends_mount_everywhere_but_data_nodes():
+    for backend in (NFSBackend(), StripedFSBackend(2)):
+        assert backend.should_mount(FakeNode("condor-worker"))
+        assert backend.should_mount(FakeNode("galaxy"))
+        assert not backend.should_mount(FakeNode("stripe-data"))
+
+
+def test_non_posix_backends_mount_only_the_gateways():
+    for backend in (ObjectStoreBackend(), LocalStagingBackend()):
+        assert not backend.should_mount(FakeNode("condor-worker"))
+        assert backend.should_mount(FakeNode("galaxy"))
+        assert backend.should_mount(FakeNode("gridftp"))
+        assert not backend.should_mount(FakeNode("stripe-data"))
+
+
+def test_build_server_exports_the_head_filesystem():
+    class HeadNode:
+        local_fs = SimFilesystem(name="head")
+        hostname = "head.example.org"
+
+    server = NFSBackend().build_server(HeadNode())
+    assert server.fs is HeadNode.local_fs
+    assert server.hostname == "head.example.org"
+
+
+# -- accounting ------------------------------------------------------------
+def test_staging_stats_snapshot():
+    backend = LocalStagingBackend()
+    backend.stage_in_seconds(FILES)
+    backend.stage_out_seconds(FILES[:1])
+    stats = StagingStats.of(backend)
+    assert stats.backend == "local_staging"
+    assert stats.bytes_staged_in == 30 * MB
+    assert stats.bytes_staged_out == 10 * MB
+    assert stats.files_staged == 3
+    assert stats.extra["mounts_workers"] is False
+
+
+def test_describe_reports_backend_specific_detail():
+    striped = StripedFSBackend(2).describe()
+    assert striped["data_nodes"] == 2
+    assert striped["aggregate_mbps"] == pytest.approx(
+        calibration.STORAGE_STRIPE_CLIENT_MBPS
+    )
+    obj = ObjectStoreBackend(parallel=8).describe()
+    assert obj["parallel"] == 8 and obj["objects"] == 0

@@ -139,6 +139,24 @@ def test_bench_job_runs_waas_policy_smoke(workflow):
     )
 
 
+def test_bench_job_runs_storage_ablation_smoke(workflow):
+    """The storage-backend ablation runs every backend in CI, byte-compares
+    the parallel and sequential merges, and gp-replays the bundle of a
+    suite whose tasks deploy non-NFS backends."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    storage = [c for c in commands if "repro.bench storage_ablation" in c]
+    assert storage, "bench-smoke must run the storage_ablation suite"
+    assert any("--smoke" in c for c in storage)
+    assert any(
+        "--workers 4" in c and "--workers 1" in c and "cmp" in c for c in storage
+    ), "the storage sim JSON must be byte-compared across worker counts"
+    assert any(
+        "repro.provenance.cli" in c
+        and "storage_ablation-smoke.bundle.json" in c
+        for c in storage
+    ), "the storage ablation bundle must round-trip through gp-replay"
+
+
 def test_bench_job_compares_sim_json_against_committed_baseline(workflow):
     """Obs-off sim output is pinned byte-for-byte to the repo snapshot."""
     commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]

@@ -94,3 +94,51 @@ def test_second_sync_run_is_all_skips_and_fast(bed):
     bed.ctx.sim.run(until=bed.go.when_done(t2))
     assert t2.files_skipped == 4
     assert t2.duration_s < t1.duration_s / 5
+
+
+def test_sync_checksum_retransfers_rewritten_same_size_bulk_file(bed):
+    """Regression: bulk checksums were `bulk:{size}`, so re-writing a
+    size-only file with fresh content of the same size compared equal to
+    the stale destination copy and sync silently skipped it."""
+    path = bed.put_file("/home/boliu/nightly.zip", size=50 * MB)
+    items = [TransferItem(path, "/nightly.zip")]
+    t1 = bed.go.submit("boliu", sync_spec("checksum", items))
+    bed.ctx.sim.run(until=bed.go.when_done(t1))
+    assert t1.files_transferred == 1
+
+    # the nightly build rewrites the archive; same size, new content
+    bed.laptop_fs.write(path, size=50 * MB, mtime=bed.ctx.now)
+    t2 = bed.go.submit("boliu", sync_spec("checksum", items))
+    bed.ctx.sim.run(until=bed.go.when_done(t2))
+    assert t2.files_transferred == 1, "re-written bulk file must re-transfer"
+    assert t2.files_skipped == 0
+    # and the destination now carries the fresh token
+    assert (
+        bed.galaxy_fs.stat("/nightly.zip").checksum
+        == bed.laptop_fs.stat(path).checksum
+    )
+
+
+def test_sync_checksum_still_skips_unchanged_bulk_file(bed):
+    """The counterpart: an *unchanged* bulk file keeps its token through
+    the copy, so a second sync is still a skip."""
+    path = bed.put_file("/home/boliu/stable.zip", size=50 * MB)
+    items = [TransferItem(path, "/stable.zip")]
+    t1 = bed.go.submit("boliu", sync_spec("checksum", items))
+    bed.ctx.sim.run(until=bed.go.when_done(t1))
+    t2 = bed.go.submit("boliu", sync_spec("checksum", items))
+    bed.ctx.sim.run(until=bed.go.when_done(t2))
+    assert t2.files_skipped == 1
+    assert t2.files_transferred == 0
+
+
+def test_sync_checksum_distinguishes_distinct_same_size_bulk_files(bed):
+    """Two different archives of identical size must not alias."""
+    a = bed.put_file("/home/boliu/a.zip", size=10 * MB)
+    bed.galaxy_fs.write("/a.zip", size=10 * MB)  # unrelated same-size file
+    task = bed.go.submit(
+        "boliu", sync_spec("checksum", [TransferItem(a, "/a.zip")])
+    )
+    bed.ctx.sim.run(until=bed.go.when_done(task))
+    assert task.files_transferred == 1
+    assert task.files_skipped == 0
