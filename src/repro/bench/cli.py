@@ -20,7 +20,7 @@ import json
 import pathlib
 import sys
 
-from ..obs import chrome_trace, spans_jsonl, summary_table
+from ..obs import chrome_trace, critpath_doc, spans_jsonl, summary_table, timeseries_jsonl
 from ..simcore import DISPATCH_MODES, SCHEDULERS, default_dispatch, default_scheduler
 from . import suites, trajectory
 from .harness import run_suite
@@ -100,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--critpath-out",
+        type=pathlib.Path,
+        metavar="DIR",
+        help=(
+            "record spans in every task and write, per suite, the causal"
+            " critical-path document (<suite>.critpath.json: makespan-"
+            "dominating chain + per-layer attribution) into DIR, plus a"
+            " rendered attribution table on stdout; implies span capture"
+        ),
+    )
+    parser.add_argument(
         "--bundle-out",
         type=pathlib.Path,
         metavar="DIR",
@@ -155,24 +166,49 @@ def write_obs_outputs(result, out_dir: pathlib.Path) -> list[pathlib.Path]:
     one trace file set per constituent suite.  Returns the written paths.
     """
     out_dir.mkdir(parents=True, exist_ok=True)
-    groups: dict[str, list[dict]] = {}
-    for t in result.tasks:
-        if not t.obs:
-            continue
-        groups.setdefault(t.spec.name.split("/", 1)[0], []).extend(t.obs)
     written: list[pathlib.Path] = []
-    for group, docs in sorted(groups.items()):
+    for group, docs in sorted(_obs_groups(result).items()):
         trace_path = out_dir / f"{group}.trace.json"
         trace_path.write_text(json.dumps(chrome_trace(docs), sort_keys=True) + "\n")
         written.append(trace_path)
         jsonl_path = out_dir / f"{group}.spans.jsonl"
         jsonl_path.write_text(spans_jsonl(docs))
         written.append(jsonl_path)
+        series_path = out_dir / f"{group}.timeseries.jsonl"
+        series_path.write_text(timeseries_jsonl(docs))
+        written.append(series_path)
         summary_path = out_dir / f"{group}.summary.txt"
         summary_path.write_text(
             summary_table(docs, title=f"{group}: span summary (sim-seconds)") + "\n"
         )
         written.append(summary_path)
+    return written
+
+
+def _obs_groups(result) -> dict[str, list[dict]]:
+    """Obs docs grouped by the suite prefix of their spec name."""
+    groups: dict[str, list[dict]] = {}
+    for t in result.tasks:
+        if not t.obs:
+            continue
+        groups.setdefault(t.spec.name.split("/", 1)[0], []).extend(t.obs)
+    return groups
+
+
+def write_critpath_outputs(result, out_dir: pathlib.Path) -> list[pathlib.Path]:
+    """Write per-suite ``.critpath.json`` documents; returns the paths.
+
+    Built purely from spans (never metrics), with deterministic tie
+    breaks — the files are byte-identical across scheduler and dispatch
+    choices, which CI pins.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    for group, docs in sorted(_obs_groups(result).items()):
+        doc = critpath_doc(docs, suite=group)
+        path = out_dir / f"{group}.critpath.json"
+        path.write_text(json.dumps(doc, sort_keys=True) + "\n")
+        written.append(path)
     return written
 
 
@@ -207,7 +243,11 @@ def main(argv: list[str] | None = None) -> int:
     mode = f"{args.workers} workers" if args.workers > 1 else "sequential"
     sched = f", scheduler={args.scheduler}" if args.scheduler else ""
     disp = f", dispatch={args.dispatch}" if args.dispatch else ""
-    capture_spans = args.obs_out is not None or args.bundle_out is not None
+    capture_spans = (
+        args.obs_out is not None
+        or args.bundle_out is not None
+        or args.critpath_out is not None
+    )
     obs_note = ", obs" if capture_spans else ""
     print(
         f"running suite {suite.name!r}: {len(suite.specs)} specs,"
@@ -241,6 +281,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.obs_out:
         for path in write_obs_outputs(result, args.obs_out):
             print(f"wrote {path}")
+    if args.critpath_out:
+        # imported lazily like the other reporting renderers
+        from ..reporting import render_critpath
+
+        for path in write_critpath_outputs(result, args.critpath_out):
+            print(f"wrote {path}")
+            doc = json.loads(path.read_text())
+            print(render_critpath(doc))
     if args.bundle_out:
         # imported lazily: most gp-bench invocations never bundle, and
         # the provenance package pulls in the replay machinery

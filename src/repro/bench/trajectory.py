@@ -12,13 +12,29 @@ render the events/sec-over-commits table via ``repro.reporting``.  The
 kernel-throughput aggregate comes from the tasks that report kernel
 counters (the scale grid): total events processed divided by the wall
 time those tasks took, so the number is comparable across worker counts.
+
+Run as a module it is also the regression gate::
+
+    python -m repro.bench.trajectory --check \\
+        --trajectory trajectory.json \\
+        --critpath critpath-out/scale.critpath.json \\
+        --baseline benchmarks/results/trajectory_baseline.json
+
+``--check`` compares the latest matching trajectory record against the
+committed baseline: events/sec may not fall below the baseline's
+``min_events_per_sec`` floor (generous, for noisy CI hosts), and — the
+deterministic half — the critical-path per-layer second totals and
+makespan must match the baseline exactly (within ``tolerance_s``),
+because span timings come from simulated time, not the host.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import subprocess
+import sys
 from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
 
@@ -145,3 +161,135 @@ def render(records: list[TrajectoryRecord], last: int | None = None) -> str:
         rows,
         title=f"Perf trajectory ({len(records)} runs tracked)",
     )
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+
+
+def check_against_baseline(
+    baseline: dict,
+    records: list[TrajectoryRecord],
+    critpath: dict | None = None,
+) -> list[str]:
+    """Compare the latest matching record (and critpath doc) to a baseline.
+
+    Returns a list of human-readable failures (empty = within bounds).
+    The throughput floor is intentionally loose — wall time is host
+    noise — while the critical-path layer totals are exact: they are
+    simulated seconds, so any drift is a behaviour change, not jitter.
+    """
+    failures: list[str] = []
+    suite = baseline.get("suite")
+    matching = [r for r in records if suite is None or r.suite == suite]
+    if not matching:
+        failures.append(
+            f"no trajectory record for suite {suite!r} "
+            f"({len(records)} record(s) present)"
+        )
+    else:
+        latest = matching[-1]
+        if latest.tasks_failed:
+            failures.append(
+                f"latest {latest.suite} run has {latest.tasks_failed} failed task(s)"
+            )
+        floor = baseline.get("min_events_per_sec")
+        if floor is not None and latest.events_per_sec < float(floor):
+            failures.append(
+                f"events/sec regressed: {latest.events_per_sec:,.0f} < "
+                f"floor {float(floor):,.0f} (reference "
+                f"{baseline.get('reference_events_per_sec', 'n/a')})"
+            )
+    expected = baseline.get("critpath")
+    if expected is not None:
+        if critpath is None:
+            failures.append(
+                "baseline pins critical-path layers but no --critpath file given"
+            )
+        else:
+            tol = float(expected.get("tolerance_s", 1e-6))
+            got_layers = critpath.get("layers") or {}
+            want_layers = expected.get("layers") or {}
+            for layer in sorted(set(want_layers) | set(got_layers)):
+                want = float(want_layers.get(layer, 0.0))
+                got = float(got_layers.get(layer, 0.0))
+                if abs(want - got) > tol:
+                    failures.append(
+                        f"critical-path layer {layer!r} drifted: "
+                        f"{got:.6f}s vs baseline {want:.6f}s (tol {tol})"
+                    )
+            want_mk = expected.get("makespan_s")
+            if want_mk is not None:
+                got_mk = float(critpath.get("makespan_s") or 0.0)
+                if abs(float(want_mk) - got_mk) > tol:
+                    failures.append(
+                        f"critical-path makespan drifted: {got_mk:.6f}s vs "
+                        f"baseline {float(want_mk):.6f}s (tol {tol})"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trajectory",
+        description="Render the perf trajectory, or gate it against a baseline.",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=pathlib.Path,
+        default=DEFAULT_PATH,
+        help=f"trajectory series to read (default: {DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the latest record (and --critpath doc) to --baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks/results/trajectory_baseline.json"),
+        help="baseline bounds for --check",
+    )
+    parser.add_argument(
+        "--critpath",
+        type=pathlib.Path,
+        default=None,
+        help="critpath document (gp-bench --critpath-out) checked for layer drift",
+    )
+    parser.add_argument(
+        "--last", type=int, default=10, help="rows to render without --check"
+    )
+    args = parser.parse_args(argv)
+
+    records = load(args.trajectory)
+    if not args.check:
+        if not records:
+            print(f"no trajectory records at {args.trajectory}")
+            return 0
+        print(render(records, last=args.last))
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    critpath = None
+    if args.critpath is not None:
+        if not args.critpath.exists():
+            print(f"error: critpath file {args.critpath} not found", file=sys.stderr)
+            return 2
+        critpath = json.loads(args.critpath.read_text())
+    failures = check_against_baseline(baseline, records, critpath)
+    if failures:
+        for failure in failures:
+            print(f"trajectory check FAILED: {failure}", file=sys.stderr)
+        return 1
+    suite = baseline.get("suite") or "any"
+    print(f"trajectory check ok: suite {suite!r} within baseline bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

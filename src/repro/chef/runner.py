@@ -64,11 +64,13 @@ class ChefRunner:
         cpu = resource.cpu_work / node.cpu_factor if resource.cpu_work else 0.0
         return io + cpu
 
-    def converge(self, node: ChefNode, run_list: Iterable[str]):
+    def converge(self, node: ChefNode, run_list: Iterable[str], cause=None):
         """A simulation process: yields while work happens, returns report.
 
         Use as ``report = yield from runner.converge(node, run_list)`` inside
         another process, or ``ctx.sim.process(runner.converge(...))``.
+        ``cause`` optionally names the obs span id this converge follows
+        from (the deployer passes the node's ec2.boot span).
         """
         run_list = list(run_list)
         report = ConvergeReport(
@@ -77,7 +79,7 @@ class ChefRunner:
         self.ctx.log("chef", "converge-start", node=node.name, run_list=run_list)
         obs = self.ctx.obs
         track = f"chef/{node.name}"
-        span = obs.start("chef.converge", track=track, node=node.name)
+        span = obs.start("chef.converge", track=track, cause=cause, node=node.name)
         try:
             for item in run_list:
                 recipe = self.repo.resolve(item)

@@ -120,6 +120,10 @@ class MockEC2:
         #: open ``ec2.boot`` spans by instance id (only populated when the
         #: context's observability recorder is live)
         self._boot_spans: dict[str, object] = {}
+        #: boot span *ids*, retained after the span closes so later
+        #: phases (Chef converge via the deployer) can cite the boot
+        #: that produced their node as a causal edge
+        self._boot_span_ids: dict[str, int] = {}
         # Pre-register the paper's public GP AMI.
         self.images["ami-b12ee0d8"] = AMI(
             id="ami-b12ee0d8",
@@ -232,17 +236,27 @@ class MockEC2:
             self.ctx.log("ec2", "launch", instance=iid, type=itype.name)
             obs = self.ctx.obs
             if obs.enabled:
-                self._boot_spans[iid] = obs.start(
+                span = obs.start(
                     "ec2.boot", track=f"ec2/{iid}", instance=iid, type=itype.name
                 )
+                self._boot_spans[iid] = span
+                self._boot_span_ids[iid] = span.id
                 obs.counter("ec2.launches").inc()
             # jitter draws stay in creation order (one RNG draw per instance)
             boot_times.append(now + self._boot_delay(itype))
             out.append(inst)
         # One boot cohort per API call: with zero jitter a whole batch
-        # shares a timestamp and enters RUNNING as a single slice.
+        # shares a timestamp and enters RUNNING as a single slice.  With
+        # obs on, the cohort carries each member's boot span id so the
+        # causal edge survives the batched RUNNING transition.
         self.ctx.sim.schedule_cohort(
-            boot_times, self._boot_apply, payload=list(out), layer="ec2.boot"
+            boot_times,
+            self._boot_apply,
+            payload=list(out),
+            layer="ec2.boot",
+            cause=tuple(self._boot_span_ids.get(i.id) for i in out)
+            if self.ctx.obs.enabled
+            else None,
         )
         return out
 
@@ -286,6 +300,16 @@ class MockEC2:
         inst._running_event = None
         if ev is not None and not ev.triggered:
             ev.succeed(inst)
+
+    def boot_span_id(self, instance_id: str):
+        """Obs span id of an instance's ec2.boot span (None when obs off).
+
+        Resolvable for the instance's lifetime — downstream deployment
+        phases cite it as the cause of their own spans.
+        """
+        return (
+            self._boot_span_ids.get(instance_id) if self._boot_span_ids else None
+        )
 
     def when_running(self, instance_id: str) -> SimEvent:
         """Event that fires when the instance reaches RUNNING."""
@@ -332,13 +356,15 @@ class MockEC2:
             self.ctx.log("ec2", "restart", instance=iid)
             obs = self.ctx.obs
             if obs.enabled:
-                self._boot_spans[iid] = obs.start(
+                span = obs.start(
                     "ec2.boot",
                     track=f"ec2/{iid}",
                     instance=iid,
                     type=inst.itype.name,
                     restart=True,
                 )
+                self._boot_spans[iid] = span
+                self._boot_span_ids[iid] = span.id
             delay = self._boot_delay(inst.itype, fraction=RESTART_FRACTION_OF_BOOT)
             self.ctx.sim.call_in(delay, lambda i=inst: self._enter_running(i))
 

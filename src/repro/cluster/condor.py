@@ -79,6 +79,13 @@ class CondorJob:
     machine_name: Optional[str] = None
     evictions: int = 0
     completed: Optional[SimEvent] = None  # fires when COMPLETED
+    # obs causal carriers: ids of the job's current condor.wait /
+    # condor.run spans, so each phase span can cite its predecessor
+    # (wait <- submitter's span, run <- wait, requeued wait <- run) even
+    # though matching and completion happen in batched cohorts.  None
+    # whenever observability is disabled.
+    wait_span_id: Optional[int] = None
+    run_span_id: Optional[int] = None
 
     def matches(self, machine: MachineAd) -> bool:
         if self.req_memory_gb > machine.memory_gb:
@@ -149,7 +156,13 @@ class Startd:
         if obs.enabled:
             track = f"condor/job-{job.id}"
             obs.finish_open(track)  # the condor.wait span
-            obs.start("condor.run", track=track, job=job.id, machine=self.machine.name)
+            job.run_span_id = obs.start(
+                "condor.run",
+                track=track,
+                cause=job.wait_span_id,
+                job=job.id,
+                machine=self.machine.name,
+            ).id
             obs.histogram("condor.queue_wait_s").observe(
                 self.ctx.now - job.submit_time
             )
@@ -213,7 +226,13 @@ class Startd:
             if obs.enabled:
                 track = f"condor/job-{job.id}"
                 obs.finish_open(track, status="error", error="evicted")
-                obs.start("condor.wait", track=track, job=job.id, requeued=True)
+                job.wait_span_id = obs.start(
+                    "condor.wait",
+                    track=track,
+                    cause=job.run_span_id,
+                    job=job.id,
+                    requeued=True,
+                ).id
                 obs.counter("condor.evictions").inc()
         pool._wake_negotiator()
         self._check_drained()
@@ -466,6 +485,7 @@ class CondorPool:
         requirements: Optional[Requirements] = None,
         rank: Optional[Rank] = None,
         on_complete: Optional[Callable[[CondorJob], None]] = None,
+        cause: Optional[int] = None,
     ) -> CondorJob:
         if cpu_work < 0 or io_work < 0:
             raise CondorError("cpu_work/io_work must be >= 0")
@@ -484,7 +504,16 @@ class CondorPool:
         self.ctx.log("condor", "submit", job=job.id, owner=owner, work=cpu_work)
         obs = self.ctx.obs
         if obs.enabled:
-            obs.start("condor.wait", track=f"condor/job-{job.id}", job=job.id, owner=owner)
+            # ``cause`` names the submitter's span (a Galaxy job, a WaaS
+            # workflow) so the queue-wait interval is causally reachable
+            # from the operation that provoked it
+            job.wait_span_id = obs.start(
+                "condor.wait",
+                track=f"condor/job-{job.id}",
+                cause=cause,
+                job=job.id,
+                owner=owner,
+            ).id
             obs.counter("condor.submits").inc()
         self._wake_negotiator()
         return job
@@ -681,13 +710,27 @@ class CondorPool:
             for _startd, _slot, _token, job in claims:
                 schedd._job_left_queue(job)
             # One struct-of-arrays cohort per cycle: every claim's
-            # completion timer in match order.
+            # completion timer in match order.  With obs on, the cohort
+            # carries each member's condor.run span id so the causal
+            # chain survives the batch dispatch (spans opened from the
+            # apply can cite cohort.cause[k]); obs off, it stays None.
             self.ctx.sim.schedule_cohort(
                 finish_times,
                 self._complete_apply,
                 payload=claims,
                 layer="condor.complete",
+                cause=tuple(c[3].run_span_id for c in claims) if obs.enabled else None,
             )
-        if obs.enabled and matched:
-            obs.instant("condor.negotiate", track="condor", matched=matched)
-            obs.counter("condor.matches").inc(matched)
+        if obs.enabled:
+            if matched:
+                obs.instant("condor.negotiate", track="condor", matched=matched)
+                obs.counter("condor.matches").inc(matched)
+            # gauge samples at every negotiation cycle: the Fig. 11
+            # utilization/backlog curves straight from the trace
+            slots = self.total_slots
+            running = self.running_count
+            obs.series("condor.pool_utilization").record(
+                running / slots if slots else 0.0
+            )
+            obs.series("condor.idle_jobs").record(self.schedd.idle_count())
+            obs.series("condor.running_jobs").record(running)

@@ -61,6 +61,10 @@ class Job:
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     done: Optional[SimEvent] = None
+    #: obs causal carrier: id of the job's galaxy.job span, cited as the
+    #: cause of stage-in/out, compute, and Condor queue spans downstream.
+    #: None whenever observability is disabled.
+    obs_span_id: Optional[int] = None
 
     @property
     def duration_s(self) -> Optional[float]:
@@ -255,6 +259,7 @@ class CondorJobRunner(JobRunner):
             io_work=io_work,
             owner=job.user,
             requirements=self._requirements_for(job.tool),
+            cause=job.obs_span_id,
         )
         result = yield self.pool.when_done(cjob)
         return result.machine_name
@@ -291,6 +296,8 @@ class JobManager:
         self.jobs: dict[int, Job] = {}
         self._next_job_id = 1
         self._next_dataset_id = 1
+        #: concurrent explicit stage-in/out operations (obs gauge series)
+        self._staging_active = 0
         self.fs.mkdirs(file_path)
         #: observers called with each job reaching a terminal state
         self.listeners: list[Callable[[Job], None]] = []
@@ -363,9 +370,9 @@ class JobManager:
         self.ctx.log("galaxy", "job-submit", job=job.id, tool=tool.id, user=user)
         obs = self.ctx.obs
         if obs.enabled:
-            obs.start(
+            job.obs_span_id = obs.start(
                 "galaxy.job", track=f"galaxy/job-{job.id}", job=job.id, tool=tool.id
-            )
+            ).id
             obs.counter("galaxy.jobs_submitted").inc()
         self.ctx.sim.process(self._run(job), name=f"job-{job.id}")
         return job
@@ -389,7 +396,12 @@ class JobManager:
         obs = self.ctx.obs
         if obs.enabled:
             # nested under galaxy.job: the compute phase after prep
-            obs.start("galaxy.job.run", track=f"galaxy/job-{job.id}", job=job.id)
+            obs.start(
+                "galaxy.job.run",
+                track=f"galaxy/job-{job.id}",
+                cause=job.obs_span_id,
+                job=job.id,
+            )
         for ds in job.outputs.values():
             ds.state = DatasetState.RUNNING
         services = dict(self.services)
@@ -419,7 +431,26 @@ class JobManager:
                         [(d.file_path, d.size) for d in job.inputs]
                     )
                     if stage_in > 0.0:
+                        span = None
+                        if obs.enabled:
+                            span = obs.start(
+                                "galaxy.stage_in",
+                                track=f"galaxy/job-{job.id}",
+                                cause=job.obs_span_id,
+                                job=job.id,
+                                files=len(job.inputs),
+                            )
+                            self._staging_active += 1
+                            obs.series("galaxy.staging_active").record(
+                                self._staging_active
+                            )
                         yield self.ctx.sim.timeout(stage_in)
+                        if span is not None:
+                            obs.finish(span)
+                            self._staging_active -= 1
+                            obs.series("galaxy.staging_active").record(
+                                self._staging_active
+                            )
                 machine = yield from self.runner.dispatch(job, cpu, io)
                 job.machine = machine or "unknown"
                 tool.execute(run)
@@ -428,7 +459,26 @@ class JobManager:
                         [(d.file_path, d.size) for d in job.outputs.values()]
                     )
                     if stage_out > 0.0:
+                        span = None
+                        if obs.enabled:
+                            span = obs.start(
+                                "galaxy.stage_out",
+                                track=f"galaxy/job-{job.id}",
+                                cause=job.obs_span_id,
+                                job=job.id,
+                                files=len(job.outputs),
+                            )
+                            self._staging_active += 1
+                            obs.series("galaxy.staging_active").record(
+                                self._staging_active
+                            )
                         yield self.ctx.sim.timeout(stage_out)
+                        if span is not None:
+                            obs.finish(span)
+                            self._staging_active -= 1
+                            obs.series("galaxy.staging_active").record(
+                                self._staging_active
+                            )
         except Exception as exc:  # noqa: BLE001 - job errors surface in the UI
             self._finish_error(job, str(exc), run)
             return

@@ -28,6 +28,7 @@ simulations constructed deep inside benchmark tasks)::
     json.dump(chrome_trace(cap), open("usecase.trace.json", "w"))
 """
 
+from .critpath import critical_path, critpath_doc, layer_of
 from .export import (
     annotations,
     as_docs,
@@ -48,7 +49,9 @@ from .recorder import (
     capturing,
     recorder_for_context,
 )
-from .validate import check_chrome_trace
+from .timeseries import NULL_SERIES, TimeSeries, series_points, timeseries_jsonl
+from .tracediff import SpanDivergence, first_span_divergence, render_span_divergence
+from .validate import check_chrome_trace, check_critpath, check_timeseries
 
 __all__ = [
     "Capture",
@@ -58,18 +61,30 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_RECORDER",
+    "NULL_SERIES",
     "NullRecorder",
     "ObsRecorder",
     "Span",
+    "SpanDivergence",
+    "TimeSeries",
     "annotations",
     "as_docs",
     "capture",
     "capturing",
     "check_chrome_trace",
+    "check_critpath",
+    "check_timeseries",
     "chrome_trace",
+    "critical_path",
+    "critpath_doc",
+    "first_span_divergence",
+    "layer_of",
     "metrics_rows",
     "recorder_for_context",
+    "render_span_divergence",
+    "series_points",
     "spans_jsonl",
     "summary_rows",
     "summary_table",
+    "timeseries_jsonl",
 ]

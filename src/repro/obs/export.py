@@ -16,6 +16,7 @@ Perfetto / ``about://tracing``.
 from __future__ import annotations
 
 import json
+import math
 
 __all__ = [
     "annotations",
@@ -160,10 +161,17 @@ def spans_jsonl(source) -> str:
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
-    """Exact nearest-rank percentile over the closed span durations."""
+    """Exact nearest-rank percentile over the closed span durations.
+
+    Nearest-rank: the smallest value with at least ``q`` of the samples
+    at or below it, i.e. ``sorted_values[ceil(q * n) - 1]`` clamped to a
+    valid index (q=0.0 returns the minimum, q=1.0 the maximum).  The old
+    ``round(q * n + 0.5)`` form hit banker's rounding on exact .5
+    products — p95 of 20 samples picked rank 20 instead of 19.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(1, int(round(q * len(sorted_values) + 0.5)))
+    rank = max(1, math.ceil(q * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 

@@ -115,13 +115,17 @@ class Histogram:
         """Upper bound of the bucket holding the ``q``-quantile rank.
 
         Returns the overall max for ranks landing in the overflow bucket
-        (and for q=1.0), and 0.0 when nothing was observed.
+        (and for q=1.0), and 0.0 when nothing was observed.  The rank is
+        clamped to at least 1: ``q=0.0`` asks for the first observation's
+        bucket, not rank 0 — an unclamped rank made every bucket (empty
+        ones included) satisfy ``seen >= rank`` and q=0.0 wrongly
+        returned the first bound even when nothing landed there.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return 0.0
-        rank = math.ceil(q * self.count)
+        rank = max(1, math.ceil(q * self.count))
         seen = 0
         for i, bound in enumerate(self.bounds):
             seen += self.bucket_counts[i]

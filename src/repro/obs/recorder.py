@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .timeseries import NULL_SERIES, TimeSeries
 
 __all__ = [
     "Span",
@@ -56,6 +57,7 @@ class Span:
         "start",
         "end",
         "parent_id",
+        "cause_id",
         "status",
         "error",
         "attrs",
@@ -71,6 +73,7 @@ class Span:
         parent_id: Optional[int],
         attrs: dict[str, Any],
         recorder: "ObsRecorder",
+        cause_id: Optional[int] = None,
     ) -> None:
         self.id = id
         self.name = name
@@ -78,6 +81,12 @@ class Span:
         self.start = start
         self.end: Optional[float] = None
         self.parent_id = parent_id
+        #: causal predecessor across tracks (a span id): the operation
+        #: whose completion released this one — an EC2 boot for a Chef
+        #: converge, a Condor wait for its run.  ``parent_id`` is same-track
+        #: nesting; ``cause_id`` is the cross-entity edge the critical-path
+        #: walk follows.
+        self.cause_id = cause_id
         self.status = "open"
         self.error: Optional[str] = None
         self.attrs = attrs
@@ -110,6 +119,7 @@ class Span:
             "start": self.start,
             "end": self.end,
             "parent_id": self.parent_id,
+            "cause_id": self.cause_id,
             "status": self.status,
             "error": self.error,
             "attrs": dict(self.attrs),
@@ -137,6 +147,8 @@ class ObsRecorder:
         #: metadata — that bundle exporters lift out of the span log
         self.annotations: list[dict] = []
         self.metrics = MetricsRegistry()
+        #: named gauge time series (see :mod:`repro.obs.timeseries`)
+        self.series_registry: dict[str, TimeSeries] = {}
         self._next_id = 1
         #: per-track stacks of open spans (nesting: top of stack = parent)
         self._open: dict[str, list[Span]] = {}
@@ -150,13 +162,25 @@ class ObsRecorder:
         return self._clock()
 
     # -- spans --------------------------------------------------------------
-    def start(self, name: str, track: Optional[str] = None, **attrs: Any) -> Span:
+    def start(
+        self,
+        name: str,
+        track: Optional[str] = None,
+        cause: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Span:
         """Open a span at the current sim time.
 
         ``track=None`` gives the span its own single-use track named after
         the span id — the choice for operations that may overlap arbitrarily
         (concurrent GridFTP transfers on one server) where false parent
         links would mislead.
+
+        ``cause`` names the causal predecessor — a :class:`Span` or its
+        id, typically on *another* track — whose completion released this
+        operation (boot -> converge, condor wait -> run).  It is pure
+        metadata: recording a cause schedules nothing and never alters
+        nesting.
         """
         sid = self._next_id
         self._next_id += 1
@@ -164,7 +188,10 @@ class ObsRecorder:
             track = f"{name}#{sid}"
         stack = self._open.get(track)
         parent_id = stack[-1].id if stack else None
-        span = Span(sid, name, track, self._clock(), parent_id, attrs, self)
+        cause_id = cause.id if isinstance(cause, Span) else cause
+        span = Span(
+            sid, name, track, self._clock(), parent_id, attrs, self, cause_id
+        )
         self.spans.append(span)
         if stack is None:
             self._open[track] = [span]
@@ -172,9 +199,15 @@ class ObsRecorder:
             stack.append(span)
         return span
 
-    def span(self, name: str, track: Optional[str] = None, **attrs: Any) -> Span:
+    def span(
+        self,
+        name: str,
+        track: Optional[str] = None,
+        cause: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Span:
         """Alias of :meth:`start`; reads naturally in ``with`` statements."""
-        return self.start(name, track, **attrs)
+        return self.start(name, track, cause, **attrs)
 
     def finish(self, span: Span, status: str = "ok", error: Optional[str] = None) -> Span:
         """Close a span at the current sim time."""
@@ -240,6 +273,13 @@ class ObsRecorder:
             return self.metrics.histogram(name)
         return self.metrics.histogram(name, tuple(bounds))
 
+    def series(self, name: str) -> TimeSeries:
+        """Named gauge time series, created on first use (sim-time samples)."""
+        ts = self.series_registry.get(name)
+        if ts is None:
+            ts = self.series_registry[name] = TimeSeries(name, self._clock)
+        return ts
+
     # -- export -------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-safe document: the unit the exporters and the harness move."""
@@ -249,6 +289,10 @@ class ObsRecorder:
             "instants": [dict(i, attrs=dict(i["attrs"])) for i in self.instants],
             "annotations": [dict(a, attrs=dict(a["attrs"])) for a in self.annotations],
             "metrics": self.metrics.to_dict(),
+            "series": {
+                name: self.series_registry[name].to_list()
+                for name in sorted(self.series_registry)
+            },
         }
 
 
@@ -263,6 +307,7 @@ class _NullSpan:
     start = 0.0
     end = 0.0
     parent_id = None
+    cause_id = None
     status = "ok"
     error = None
     duration_s = 0.0
@@ -317,10 +362,14 @@ class NullRecorder:
     def bind_clock(self, _clock) -> None:
         pass
 
-    def start(self, _name: str, _track: Optional[str] = None, **_attrs: Any) -> _NullSpan:
+    def start(
+        self, _name: str, _track: Optional[str] = None, _cause=None, **_attrs: Any
+    ) -> _NullSpan:
         return _NULL_SPAN
 
-    def span(self, _name: str, _track: Optional[str] = None, **_attrs: Any) -> _NullSpan:
+    def span(
+        self, _name: str, _track: Optional[str] = None, _cause=None, **_attrs: Any
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def finish(self, span, status: str = "ok", error: Optional[str] = None):
@@ -344,6 +393,9 @@ class NullRecorder:
     def histogram(self, _name: str, bounds=None) -> _NullMetric:
         return _NULL_METRIC
 
+    def series(self, _name: str):
+        return NULL_SERIES
+
     def to_dict(self) -> dict:
         return {
             "label": self.label,
@@ -351,6 +403,7 @@ class NullRecorder:
             "instants": [],
             "annotations": [],
             "metrics": {},
+            "series": {},
         }
 
 

@@ -1,15 +1,27 @@
-"""Schema check for exported Chrome ``trace_event`` files.
+"""Schema checks for exported observability artefacts.
 
-CI's obs-smoke step runs this over every ``*.trace.json`` the harness
-wrote::
+CI's obs-smoke step runs this over everything the harness wrote::
 
-    python -m repro.obs.validate obs-out/*.trace.json
+    python -m repro.obs.validate obs-out/*.trace.json \\
+        critpath-out/*.critpath.json obs-out/*.timeseries.jsonl
 
-Checks (per file): the document is a JSON object with a ``traceEvents``
-list; every event has a known phase (``X``/``i``/``M``) plus integer
-``pid``/``tid``; timed events carry finite non-negative ``ts`` (and, for
-``X``, ``dur``); and per (pid, tid) track the ``ts`` sequence is monotone
-non-decreasing — the ordering Perfetto relies on.
+The checker dispatches on filename suffix:
+
+* ``*.critpath.json`` — critical-path documents (:func:`check_critpath`):
+  version/suite/contexts present, per-context segments contiguous and
+  non-negative, segment durations summing to the makespan, layer totals
+  matching the segments;
+* ``*.timeseries.jsonl`` — gauge sample logs (:func:`check_timeseries`):
+  one JSON object per line with ``context``/``series``/``t``/``value``,
+  finite non-negative times, per-series times monotone non-decreasing;
+* anything else — Chrome ``trace_event`` JSON
+  (:func:`check_chrome_trace`): object with a ``traceEvents`` list, known
+  phases (``X``/``i``/``M``), integer ``pid``/``tid``, finite
+  non-negative ``ts``/``dur``, per (pid, tid) track monotone ``ts`` — the
+  ordering Perfetto relies on.
+
+Regardless of flavour, an empty file and a truncated/malformed file are
+reported as distinct named errors, and neither ever counts as valid.
 """
 
 from __future__ import annotations
@@ -19,7 +31,10 @@ import math
 import pathlib
 import sys
 
-__all__ = ["check_chrome_trace", "main"]
+__all__ = ["check_chrome_trace", "check_critpath", "check_timeseries", "main"]
+
+#: tolerance for "segment durations sum to the makespan" (sim-seconds)
+_SUM_TOL = 1e-6
 
 _PHASES = {"X", "i", "M"}
 
@@ -74,10 +89,146 @@ def check_chrome_trace(doc) -> list[str]:
     return errors
 
 
+def check_critpath(doc) -> list[str]:
+    """Schema + invariant check for one ``.critpath.json`` document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    if doc.get("version") != 1:
+        errors.append(f"unknown critpath version {doc.get('version')!r}")
+    contexts = doc.get("contexts")
+    if not isinstance(contexts, list):
+        return errors + ["missing 'contexts' list"]
+    if not isinstance(doc.get("layers"), dict):
+        errors.append("missing 'layers' object")
+    for i, ctx in enumerate(contexts):
+        where = f"contexts[{i}]"
+        if not isinstance(ctx, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        segments = ctx.get("segments")
+        if not isinstance(segments, list):
+            errors.append(f"{where}: missing 'segments' list")
+            continue
+        makespan = ctx.get("makespan_s")
+        if not _is_num(makespan) or makespan < 0:
+            errors.append(f"{where}: makespan_s must be a finite number >= 0")
+            continue
+        total = 0.0
+        layer_sums: dict[str, float] = {}
+        prev_end = None
+        for k, seg in enumerate(segments):
+            sw = f"{where}.segments[{k}]"
+            if not isinstance(seg, dict):
+                errors.append(f"{sw}: not an object")
+                continue
+            start, end = seg.get("start"), seg.get("end")
+            dur = seg.get("duration_s")
+            if not (_is_num(start) and _is_num(end) and _is_num(dur)):
+                errors.append(f"{sw}: start/end/duration_s must be finite numbers")
+                continue
+            if end < start or dur < 0:
+                errors.append(f"{sw}: negative interval ({start} .. {end})")
+            if abs((end - start) - dur) > _SUM_TOL:
+                errors.append(f"{sw}: duration_s {dur} != end - start {end - start}")
+            if prev_end is not None and abs(start - prev_end) > _SUM_TOL:
+                errors.append(
+                    f"{sw}: gap in coverage (starts at {start}, previous ended {prev_end})"
+                )
+            prev_end = end
+            total += dur
+            layer = seg.get("layer")
+            if not isinstance(layer, str) or not layer:
+                errors.append(f"{sw}: missing 'layer'")
+            else:
+                layer_sums[layer] = layer_sums.get(layer, 0.0) + dur
+        if segments and abs(total - makespan) > _SUM_TOL:
+            errors.append(
+                f"{where}: segment durations sum to {total}, makespan_s is {makespan}"
+            )
+        declared = ctx.get("layers")
+        if isinstance(declared, dict):
+            for layer, seconds in layer_sums.items():
+                if abs(declared.get(layer, 0.0) - seconds) > _SUM_TOL:
+                    errors.append(
+                        f"{where}: layers[{layer!r}] is {declared.get(layer)}, "
+                        f"segments sum to {seconds}"
+                    )
+    return errors
+
+
+def check_timeseries(lines: list[tuple[int, dict]]) -> list[str]:
+    """Schema check over parsed ``.timeseries.jsonl`` lines.
+
+    ``lines`` pairs each 1-based line number with its parsed object; the
+    caller handles file-level empty/truncated errors.
+    """
+    errors: list[str] = []
+    last_t: dict[tuple, float] = {}
+    for lineno, point in lines:
+        where = f"line {lineno}"
+        if not isinstance(point, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("context", "series"):
+            if not isinstance(point.get(key), str) or not point[key]:
+                errors.append(f"{where}: {key} must be a non-empty string")
+        t = point.get("t")
+        if not _is_num(t) or t < 0:
+            errors.append(f"{where}: t must be a finite number >= 0, got {t!r}")
+            continue
+        if not _is_num(point.get("value")):
+            errors.append(f"{where}: value must be a finite number")
+        key = (point.get("context"), point.get("series"))
+        prev = last_t.get(key)
+        if prev is not None and t < prev:
+            errors.append(
+                f"{where}: t went backwards for series {key[1]!r} ({t} < {prev})"
+            )
+        last_t[key] = t
+    return errors
+
+
+def _check_file(path: pathlib.Path, text: str) -> tuple[list[str], str]:
+    """Dispatch on filename flavour; return (errors, ok-message)."""
+    name = path.name
+    if name.endswith(".timeseries.jsonl"):
+        parsed: list[tuple[int, dict]] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                parsed.append((lineno, json.loads(line)))
+            except ValueError as exc:
+                return [f"truncated or malformed JSON on line {lineno}: {exc}"], ""
+        return check_timeseries(parsed), f"ok ({len(parsed)} samples)"
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        return [f"truncated or malformed JSON: {exc}"], ""
+    if name.endswith(".critpath.json"):
+        errors = check_critpath(doc)
+        n = len(doc.get("contexts", [])) if isinstance(doc, dict) else 0
+        return errors, f"ok ({n} contexts)"
+    errors = check_chrome_trace(doc)
+    n = 0
+    if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        n = sum(
+            1
+            for e in doc["traceEvents"]
+            if isinstance(e, dict) and e.get("ph") == "X"
+        )
+    return errors, f"ok ({n} spans)"
+
+
 def main(argv: list[str] | None = None) -> int:
     paths = [pathlib.Path(p) for p in (argv if argv is not None else sys.argv[1:])]
     if not paths:
-        print("usage: python -m repro.obs.validate TRACE.json [...]", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.validate "
+            "TRACE.json [X.critpath.json X.timeseries.jsonl ...]",
+            file=sys.stderr,
+        )
         return 2
     failed = False
     for path in paths:
@@ -95,20 +246,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{path}: empty trace file (no content to validate)", file=sys.stderr)
             failed = True
             continue
-        try:
-            doc = json.loads(text)
-        except ValueError as exc:
-            print(f"{path}: truncated or malformed JSON: {exc}", file=sys.stderr)
-            failed = True
-            continue
-        errors = check_chrome_trace(doc)
+        errors, ok_msg = _check_file(path, text)
         if errors:
             failed = True
             for err in errors:
                 print(f"{path}: {err}", file=sys.stderr)
         else:
-            n = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
-            print(f"{path}: ok ({n} spans)")
+            print(f"{path}: {ok_msg}")
     return 1 if failed else 0
 
 

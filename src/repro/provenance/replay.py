@@ -27,6 +27,11 @@ from typing import Optional
 
 from .. import calibration
 from ..bench.harness import BenchSpec, BenchSuite, run_suite
+from ..obs.tracediff import (
+    SpanDivergence,
+    first_span_divergence,
+    render_span_divergence,
+)
 from ..reporting.divergence import (
     Divergence,
     comparison_rows,
@@ -178,6 +183,9 @@ class ReplayReport:
     overrides: dict = field(default_factory=dict)
     verified: Optional[bool] = None
     divergence: Optional[Divergence] = None
+    #: first recorded *span* that moved (trace-level localization of the
+    #: numeric divergence above; None when spans matched or none bundled)
+    span_divergence: Optional[SpanDivergence] = None
     replay_ok: bool = True         # every replayed task returned ok
     comparison: list[dict] = field(default_factory=list)
     tasks: int = 0
@@ -191,6 +199,9 @@ class ReplayReport:
             "overrides": dict(self.overrides),
             "verified": self.verified,
             "divergence": self.divergence.to_dict() if self.divergence else None,
+            "span_divergence": self.span_divergence.to_dict()
+            if self.span_divergence
+            else None,
             "replay_ok": self.replay_ok,
             "comparison": list(self.comparison),
             "tasks": self.tasks,
@@ -205,6 +216,8 @@ class ReplayReport:
             if self.verified:
                 return f"{head}\nVERIFIED: replayed sim JSON is byte-identical"
             lines = [head, "DIVERGED: replay did not reproduce the bundled run"]
+            if self.span_divergence is not None:
+                lines.append(render_span_divergence(self.span_divergence))
             if self.divergence is not None:
                 lines.append(render_divergence(self.divergence))
             return "\n".join(lines)
@@ -235,8 +248,15 @@ def replay(
     scheduler = overrides.get("scheduler", scenario.get("scheduler"))
     dispatch = overrides.get("dispatch", scenario.get("dispatch"))
     suite = rebuild_suite(bundle, overrides)
-    result = run_suite(suite, workers=workers, scheduler=scheduler, dispatch=dispatch)
     counterfactual = bool(overrides)
+    # Identity verification of a bundle that carries spans records them
+    # on the replay too: the obs-on sim JSON is byte-identical to obs-off
+    # (CI pins this), so one run serves both the numeric byte-compare and
+    # the structural span diff that *names* the first operation to move.
+    replay_obs = not counterfactual and bool(bundle.spans)
+    result = run_suite(
+        suite, workers=workers, scheduler=scheduler, dispatch=dispatch, obs=replay_obs
+    )
     report = ReplayReport(
         mode="counterfactual" if counterfactual else "verify",
         suite=suite.name,
@@ -248,10 +268,13 @@ def replay(
     )
     if not counterfactual:
         expected, actual = bundle.sim_json(), result.sim_json()
-        if expected == actual:
-            report.verified = True
-        else:
-            report.verified = False
+        sim_ok = expected == actual
+        if replay_obs:
+            report.span_divergence = first_span_divergence(
+                bundle.spans, result.obs_docs()
+            )
+        report.verified = sim_ok and report.span_divergence is None
+        if not sim_ok:
             report.divergence = first_divergence(bundle.sim, result.sim_dict())
             if report.divergence is None:
                 # semantically equal but not byte-equal (should not

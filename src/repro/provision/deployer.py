@@ -203,7 +203,11 @@ class Deployer:
         node.chef.attributes.set(
             "normal", {"go_endpoint": dom.go_endpoint or ""}
         )
-        yield from self.bed.chef.converge(node.chef, spec.run_list)
+        yield from self.bed.chef.converge(
+            node.chef,
+            spec.run_list,
+            cause=self.bed.ec2.boot_span_id(instance.id),
+        )
         deployment.nodes[spec.name] = node
         return node
 

@@ -99,6 +99,7 @@ class EventCohort:
         "size",
         "done",
         "_remaining",
+        "cause",
     )
 
     def __init__(
@@ -109,9 +110,16 @@ class EventCohort:
         payload: object = None,
         entity_ids: object = None,
         layer: str = "cohort",
+        cause: object = None,
     ) -> None:
         self.sim = sim
         self.layer = layer
+        # Opaque causal baggage for observability: producers stash the obs
+        # span id(s) that provoked this cohort (one id, or a per-member
+        # sequence) so `apply` can thread cause links onto spans it opens
+        # even though dispatch batches the members.  The kernel never
+        # reads it; None (the obs-off default) costs one slot write.
+        self.cause = cause
         # Kept as handed in; normalized to float64 lazily (see `times`).
         # Producers registering thousands of small cohorts (negotiator
         # ticks, per-file chunk plans) would otherwise pay an ndarray
@@ -219,6 +227,7 @@ def schedule_cohort(
     payload: object = None,
     entity_ids: object = None,
     layer: str = "cohort",
+    cause: object = None,
 ) -> EventCohort:
     """Register ``times`` as one cohort (see :class:`EventCohort`)."""
-    return EventCohort(sim, times, apply, payload, entity_ids, layer)
+    return EventCohort(sim, times, apply, payload, entity_ids, layer, cause)

@@ -305,6 +305,7 @@ class Simulator:
         payload: object = None,
         entity_ids: object = None,
         layer: str = "cohort",
+        cause: object = None,
     ) -> EventCohort:
         """Register N homogeneous timers as one struct-of-arrays cohort.
 
@@ -313,10 +314,12 @@ class Simulator:
         member under ``dispatch="scalar"``, per maximal consecutive
         equal-time run under ``dispatch="cohort"``.  See
         :class:`~repro.simcore.cohort.EventCohort` for the ordering and
-        accounting contract.  Returns the cohort; its ``done`` event
-        fires after the last member is applied.
+        accounting contract.  ``cause`` is opaque causal baggage for
+        observability (obs span id(s) readable by ``apply`` as
+        ``cohort.cause``); the kernel ignores it.  Returns the cohort;
+        its ``done`` event fires after the last member is applied.
         """
-        return EventCohort(self, times, apply, payload, entity_ids, layer)
+        return EventCohort(self, times, apply, payload, entity_ids, layer, cause)
 
     # -- scheduling --------------------------------------------------------
     # NOTE: the hot constructors (Timeout.__init__, SimEvent.succeed/fail)

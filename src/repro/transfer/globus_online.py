@@ -189,6 +189,12 @@ class GlobusOnline:
         self.tasks: dict[str, TransferTask] = {}
         self.emails: list[EmailNotification] = []
         self._task_ids = itertools.count(1)
+        # obs causal carriers: task id -> go.task span id, cited by the
+        # per-file spans (and by downstream stage-in consumers).  Stays
+        # empty when obs is disabled; consumers gate on truthiness.
+        self._task_span_ids: dict[str, int] = {}
+        #: tasks submitted but not yet terminal (obs gauge series)
+        self._active_count = 0
 
     # -- accounts ---------------------------------------------------------------
     def register_user(self, username: str, email: str = "") -> GOUser:
@@ -332,15 +338,17 @@ class GlobusOnline:
         )
         obs = self.ctx.obs
         if obs.enabled:
-            obs.start(
+            self._task_span_ids[task.task_id] = obs.start(
                 "go.task",
                 track=f"go/{task.task_id}",
                 task=task.task_id,
                 src=spec.source_endpoint,
                 dst=spec.dest_endpoint,
                 label=spec.label,
-            )
+            ).id
             obs.counter("go.tasks").inc()
+            self._active_count += 1
+            obs.series("go.active_tasks").record(self._active_count)
         self.ctx.sim.process(self._run_task(task), name=task.task_id)
         return task
 
@@ -349,6 +357,15 @@ class GlobusOnline:
             return self.tasks[task_id]
         except KeyError:
             raise GlobusError(f"no such task {task_id!r}") from None
+
+    def task_span_id(self, task_id: str):
+        """Obs span id of a task's go.task span (None when obs is off).
+
+        Lets consumers (Galaxy staging tools) cite the transfer that fed
+        them as the cause of their own spans — ids stay resolvable after
+        the task completes, like the tasks themselves.
+        """
+        return self._task_span_ids.get(task_id) if self._task_span_ids else None
 
     def when_done(self, task: TransferTask) -> SimEvent:
         assert task.done is not None
@@ -393,6 +410,8 @@ class GlobusOnline:
                 )
             else:
                 obs.finish_open(f"go/{task.task_id}")
+            self._active_count -= 1
+            obs.series("go.active_tasks").record(self._active_count)
         self._notify(task)
         if task.done is not None and not task.done.triggered:
             task.done.succeed(task)
@@ -506,7 +525,14 @@ class GlobusOnline:
                 streams = src.stream_plan(size, spec.parallel)
                 wire = src.wire_seconds(network, size, streams)
                 file_span = obs.start(
-                    "go.file", track=track, path=dst_path, bytes=size, streams=streams
+                    "go.file",
+                    track=track,
+                    cause=self._task_span_ids.get(task.task_id)
+                    if self._task_span_ids
+                    else None,
+                    path=dst_path,
+                    bytes=size,
+                    streams=streams,
                 )
                 chunk_moved = False
                 checksummed = False

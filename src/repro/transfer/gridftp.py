@@ -199,9 +199,12 @@ class GridFTPServer:
         dst_path: str,
         network: NetworkPath,
         parallel: Optional[int] = None,
+        cause: Optional[int] = None,
     ):
         """Simulation process moving one file from this server to ``dest``.
 
+        ``cause`` optionally names the obs span id that provoked the
+        transfer (a Galaxy job staging data, a deployment step).
         Returns (bytes, seconds) when awaited.
         """
         node = self.stat(src_path)
@@ -212,6 +215,7 @@ class GridFTPServer:
         # arbitrarily, so each span gets its own single-use track
         span = obs.start(
             "gridftp.transfer",
+            cause=cause,
             src=f"{self.hostname}:{src_path}",
             dst=f"{dest.hostname}:{dst_path}",
             bytes=node.size,

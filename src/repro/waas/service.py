@@ -93,6 +93,12 @@ class WaasService:
         # -- per-request runtime state --------------------------------------
         self._indegree: dict[int, list[int]] = {}
         self._remaining: dict[int, int] = {}
+        # obs causal carriers: request id -> current span id on its
+        # track (waas.workflow at arrival, waas.admit once admitted), so
+        # the Condor submissions a workflow fans out cite the service
+        # span that released them.  Stays empty when obs is disabled —
+        # every consumer gates on the dict's truthiness.
+        self._wf_span_ids: dict[int, int] = {}
         # -- deadline index for the provisioner's snapshot ------------------
         self._deadline_heap: list[tuple[float, int]] = []
         self._live: set[int] = set()
@@ -143,13 +149,13 @@ class WaasService:
             heappush(self._deadline_heap, (req.deadline_s, req.id))
             if obs.enabled:
                 obs.counter("waas.arrivals").inc()
-                obs.start(
+                self._wf_span_ids[req.id] = obs.start(
                     "waas.workflow",
                     track=self._track(req),
                     tenant=req.tenant.name,
                     workflow=req.id,
                     shape=req.dag.shape,
-                )
+                ).id
             self.admission.offer(req)
 
     @staticmethod
@@ -175,6 +181,20 @@ class WaasService:
 
     def _start_workflow(self, req: WorkflowRequest) -> None:
         """Admission callback: release the DAG's root tasks to Condor."""
+        obs = self.ctx.obs
+        if obs.enabled:
+            # zero-width admission marker: arrival -> admit -> dispatch
+            # becomes an explicit causal chain (admission may fire long
+            # after arrival when the request sat in the backlog)
+            span = obs.start(
+                "waas.admit",
+                track=self._track(req),
+                cause=self._wf_span_ids.get(req.id),
+                workflow=req.id,
+            )
+            obs.finish(span)
+            self._wf_span_ids[req.id] = span.id
+            obs.series("waas.in_flight").record(self.admission.in_flight)
         _dag, children, indegree0 = self._dag_plan(req.dag)
         self._indegree[req.id] = list(indegree0)
         self._remaining[req.id] = len(req.dag.tasks)
@@ -190,7 +210,10 @@ class WaasService:
             self._task_done(req, task_id)
 
         self.pool.submit(
-            cpu_work=task.cpu_work, owner=req.tenant.name, on_complete=_done
+            cpu_work=task.cpu_work,
+            owner=req.tenant.name,
+            on_complete=_done,
+            cause=self._wf_span_ids.get(req.id) if self._wf_span_ids else None,
         )
 
     def _task_done(self, req: WorkflowRequest, task_id: int) -> None:
@@ -222,11 +245,14 @@ class WaasService:
             obs.histogram("waas.makespan_s").observe(now - req.arrived_s)
             obs.finish_open(self._track(req), status="ok" if met else "error",
                             error=None if met else "deadline-missed")
+            self._wf_span_ids.pop(req.id, None)
         self.ctx.log(
             "waas", "workflow-done", workflow=req.id,
             tenant=req.tenant.name, sla=met,
         )
         self.admission.complete(req)
+        if obs.enabled:
+            obs.series("waas.in_flight").record(self.admission.in_flight)
         self._check_all_done()
 
     def _workflow_rejected(self, req: WorkflowRequest) -> None:
@@ -235,6 +261,7 @@ class WaasService:
         obs = self.ctx.obs
         if obs.enabled:
             obs.finish_open(self._track(req), status="cancelled", error="rejected")
+            self._wf_span_ids.pop(req.id, None)
         self._check_all_done()
 
     def _check_all_done(self) -> None:

@@ -61,14 +61,21 @@ def test_write_obs_outputs_one_file_set_per_suite(tmp_path):
     assert names == [
         "fig11.spans.jsonl",
         "fig11.summary.txt",
+        "fig11.timeseries.jsonl",
         "fig11.trace.json",
         "usecase.spans.jsonl",
         "usecase.summary.txt",
+        "usecase.timeseries.jsonl",
         "usecase.trace.json",
     ]
     for trace in tmp_path.glob("*.trace.json"):
         assert check_chrome_trace(json.loads(trace.read_text())) == []
     assert "span summary" in (tmp_path / "usecase.summary.txt").read_text()
+    # gauge samples rode along and parse line by line
+    lines = (tmp_path / "usecase.timeseries.jsonl").read_text().splitlines()
+    assert lines and all(
+        {"context", "series", "t", "value"} == set(json.loads(line)) for line in lines
+    )
 
 
 def test_suite_obs_support_flags():

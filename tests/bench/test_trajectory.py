@@ -73,3 +73,134 @@ def test_render_shows_most_recent_commits(tmp_path):
 def test_current_commit_returns_short_hash_or_unknown():
     commit = trajectory.current_commit()
     assert commit == "unknown" or (4 <= len(commit) <= 40)
+
+
+# -- the --check regression gate -------------------------------------------
+
+
+def _baseline(**overrides):
+    doc = {
+        "suite": "scale",
+        "min_events_per_sec": 10000,
+        "reference_events_per_sec": 16000,
+        "critpath": {
+            "layers": {"boot": 60.0, "execute": 40.0},
+            "makespan_s": 100.0,
+            "tolerance_s": 1e-6,
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _critpath(**overrides):
+    doc = {"layers": {"boot": 60.0, "execute": 40.0}, "makespan_s": 100.0}
+    doc.update(overrides)
+    return doc
+
+
+def test_check_passes_within_bounds():
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record()], _critpath()
+    )
+    assert failures == []
+
+
+def test_check_fails_without_matching_record():
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record(suite="waas")], _critpath()
+    )
+    assert any("no trajectory record" in f for f in failures)
+
+
+def test_check_fails_on_failed_tasks_and_slow_runs():
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record(tasks_failed=1)], _critpath()
+    )
+    assert any("failed task" in f for f in failures)
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record(events_per_sec=9000.0)], _critpath()
+    )
+    assert any("events/sec regressed" in f for f in failures)
+
+
+def test_check_names_the_drifted_layer():
+    critpath = _critpath(layers={"boot": 65.0, "execute": 40.0})
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record()], critpath
+    )
+    assert any("layer 'boot' drifted" in f for f in failures)
+    # a layer present on only one side is drift too, not a silent skip
+    critpath = _critpath(layers={"boot": 60.0, "execute": 40.0, "queue": 3.0})
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record()], critpath
+    )
+    assert any("layer 'queue' drifted" in f for f in failures)
+
+
+def test_check_names_makespan_drift_and_missing_critpath():
+    failures = trajectory.check_against_baseline(
+        _baseline(), [_record()], _critpath(makespan_s=99.0)
+    )
+    assert any("makespan drifted" in f for f in failures)
+    failures = trajectory.check_against_baseline(_baseline(), [_record()], None)
+    assert any("no --critpath file" in f for f in failures)
+
+
+def test_check_uses_latest_matching_record():
+    records = [_record(events_per_sec=5000.0), _record(events_per_sec=20000.0)]
+    assert trajectory.check_against_baseline(_baseline(), records, _critpath()) == []
+
+
+def test_main_check_exit_codes(tmp_path, capsys):
+    traj = tmp_path / "traj.json"
+    trajectory.append(_record(), traj)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(_baseline()))
+    critpath = tmp_path / "scale.critpath.json"
+    critpath.write_text(json.dumps(_critpath()))
+
+    ok = trajectory.main(
+        ["--check", "--trajectory", str(traj), "--baseline", str(baseline),
+         "--critpath", str(critpath)]
+    )
+    assert ok == 0
+    assert "within baseline bounds" in capsys.readouterr().out
+
+    critpath.write_text(json.dumps(_critpath(layers={"boot": 65.0, "execute": 40.0})))
+    bad = trajectory.main(
+        ["--check", "--trajectory", str(traj), "--baseline", str(baseline),
+         "--critpath", str(critpath)]
+    )
+    assert bad == 1
+    assert "trajectory check FAILED" in capsys.readouterr().err
+
+    assert trajectory.main(
+        ["--check", "--trajectory", str(traj),
+         "--baseline", str(tmp_path / "missing.json")]
+    ) == 2
+    assert trajectory.main(
+        ["--check", "--trajectory", str(traj), "--baseline", str(baseline),
+         "--critpath", str(tmp_path / "missing.critpath.json")]
+    ) == 2
+
+
+def test_main_renders_table_without_check(tmp_path, capsys):
+    traj = tmp_path / "traj.json"
+    trajectory.append(_record(), traj)
+    assert trajectory.main(["--trajectory", str(traj)]) == 0
+    assert "Perf trajectory" in capsys.readouterr().out
+
+
+def test_committed_baseline_matches_the_schema():
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / (
+        "benchmarks/results/trajectory_baseline.json"
+    )
+    doc = json.loads(path.read_text())
+    assert doc["suite"] == "scale-smoke"
+    assert doc["min_events_per_sec"] > 0
+    layers = doc["critpath"]["layers"]
+    assert layers and all(v >= 0 for v in layers.values())
+    assert doc["critpath"]["makespan_s"] > 0

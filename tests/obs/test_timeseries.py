@@ -1,0 +1,68 @@
+"""Sim-time gauge series: recording, export, and the obs-off contract."""
+
+import json
+
+from repro.obs import NULL_RECORDER, ObsRecorder, series_points, timeseries_jsonl
+from repro.obs.timeseries import NULL_SERIES
+
+
+def _recorder():
+    clock = [0.0]
+    rec = ObsRecorder(label="run", clock=lambda: clock[0])
+    rec.series("condor.idle_jobs").record(3)
+    clock[0] = 10.0
+    rec.series("condor.idle_jobs").record(1)
+    rec.series("waas.in_flight").record(2.5)
+    return rec
+
+
+def test_series_records_sim_time_points_in_order():
+    rec = _recorder()
+    series = rec.series("condor.idle_jobs")
+    assert series.to_list() == [[0.0, 3.0], [10.0, 1.0]]
+    assert series.last == 1.0
+    assert len(series) == 2
+
+
+def test_series_registry_returns_same_instance_per_name():
+    rec = ObsRecorder(label="run")
+    assert rec.series("a") is rec.series("a")
+    assert rec.series("a") is not rec.series("b")
+
+
+def test_null_recorder_series_is_shared_noop():
+    series = NULL_RECORDER.series("anything")
+    assert series is NULL_SERIES
+    series.record(42.0)
+    assert len(series) == 0
+    assert series.last is None
+    assert series.to_list() == []
+
+
+def test_doc_form_carries_series_sorted_by_name():
+    doc = _recorder().to_dict()
+    assert list(doc["series"]) == ["condor.idle_jobs", "waas.in_flight"]
+    assert doc["series"]["waas.in_flight"] == [[10.0, 2.5]]
+
+
+def test_series_points_flatten_deterministically():
+    points = series_points(_recorder())
+    assert points == [
+        {"context": "run", "series": "condor.idle_jobs", "t": 0.0, "value": 3.0},
+        {"context": "run", "series": "condor.idle_jobs", "t": 10.0, "value": 1.0},
+        {"context": "run", "series": "waas.in_flight", "t": 10.0, "value": 2.5},
+    ]
+
+
+def test_timeseries_jsonl_round_trips():
+    text = timeseries_jsonl(_recorder())
+    assert text.endswith("\n")
+    lines = [json.loads(line) for line in text.splitlines()]
+    assert len(lines) == 3
+    assert all(
+        set(obj) == {"context", "series", "t", "value"} for obj in lines
+    )
+
+
+def test_timeseries_jsonl_empty_source_is_empty_string():
+    assert timeseries_jsonl(ObsRecorder(label="quiet")) == ""

@@ -1,0 +1,98 @@
+"""Structural span diff: the first span that moved, named precisely."""
+
+import json
+
+from repro.obs import ObsRecorder, first_span_divergence, render_span_divergence
+
+
+def _docs(shift=0.0, drop_last=False, extra_doc=False, rename=None):
+    clock = [0.0]
+    rec = ObsRecorder(label="run", clock=lambda: clock[0])
+    a = rec.start("ec2.boot", track="ec2/i-1")
+    clock[0] = 60.0 + shift
+    rec.finish(a)
+    b = rec.start("chef.converge", track="chef/n-1", cause=a.id)
+    clock[0] = 120.0 + shift
+    rec.finish(b)
+    docs = [rec.to_dict()]
+    if rename:
+        docs[0]["spans"][-1]["name"] = rename
+    if drop_last:
+        docs[0]["spans"] = docs[0]["spans"][:-1]
+    if extra_doc:
+        docs.append({"label": "run-2", "spans": []})
+    return json.loads(json.dumps(docs))
+
+
+def test_identical_docs_have_no_divergence():
+    assert first_span_divergence(_docs(), _docs()) is None
+
+
+def test_int_float_equal_values_do_not_diverge():
+    expected, actual = _docs(), _docs()
+    expected[0]["spans"][0]["start"] = 0
+    actual[0]["spans"][0]["start"] = 0.0
+    assert first_span_divergence(expected, actual) is None
+
+
+def test_shifted_span_names_field_track_and_time():
+    div = first_span_divergence(_docs(), _docs(shift=1.5))
+    assert div is not None
+    assert div.context == "run"
+    assert div.index == 0
+    assert div.name == "ec2.boot"
+    assert div.track == "ec2/i-1"
+    assert div.time == 0.0
+    assert div.field == "end"
+    assert div.expected == 60.0
+    assert div.actual == 61.5
+
+
+def test_renamed_span_reports_name_field_first():
+    div = first_span_divergence(_docs(), _docs(rename="chef.recipe"))
+    assert div.field == "name"
+    assert div.expected == "chef.converge"
+    assert div.actual == "chef.recipe"
+
+
+def test_missing_span_carries_identity_of_present_side():
+    div = first_span_divergence(_docs(), _docs(drop_last=True))
+    assert div.field == "<missing>"
+    assert div.name == "chef.converge"
+    assert div.track == "chef/n-1"
+    # symmetric: the extra span can be on either side
+    div = first_span_divergence(_docs(drop_last=True), _docs())
+    assert div.field == "<missing>"
+    assert div.name == "chef.converge"
+
+
+def test_missing_doc_reports_context_divergence():
+    div = first_span_divergence(_docs(), _docs(extra_doc=True))
+    assert div.field == "<context>"
+    assert div.context == "run-2"
+
+
+def test_cause_id_is_compared():
+    expected, actual = _docs(), _docs()
+    actual[0]["spans"][1]["cause_id"] = None
+    div = first_span_divergence(expected, actual)
+    assert div.field == "cause_id"
+    assert div.name == "chef.converge"
+
+
+def test_metrics_and_attrs_are_ignored():
+    expected, actual = _docs(), _docs()
+    actual[0]["metrics"] = {"cohort.events": {"type": "counter", "value": 9}}
+    actual[0]["spans"][0]["attrs"] = {"host": "somewhere-else"}
+    assert first_span_divergence(expected, actual) is None
+
+
+def test_render_names_span_track_and_sim_time():
+    div = first_span_divergence(_docs(), _docs(shift=1.5))
+    text = render_span_divergence(div)
+    assert "ec2.boot" in text
+    assert "ec2/i-1" in text
+    assert "t=0" in text
+    assert "end" in text
+    d = div.to_dict()
+    assert d["field"] == "end" and d["context"] == "run"

@@ -104,3 +104,150 @@ def test_cli_main_empty_file_fails_even_alongside_good_files(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "ok" in captured.out
     assert "empty trace file" in captured.err
+
+
+# -- .critpath.json ---------------------------------------------------------
+
+
+def _valid_critpath():
+    from repro.obs import critpath_doc
+
+    rec = ObsRecorder(label="cp")
+    clock = [0.0]
+    rec._clock = lambda: clock[0]
+    boot = rec.start("ec2.boot", track="ec2/i-1")
+    clock[0] = 60.0
+    rec.finish(boot)
+    run = rec.start("condor.run", track="condor/job-1", cause=boot.id)
+    clock[0] = 100.0
+    rec.finish(run)
+    return json.loads(json.dumps(critpath_doc(rec, suite="cp")))
+
+
+def test_valid_critpath_doc_passes():
+    from repro.obs.validate import check_critpath
+
+    assert check_critpath(_valid_critpath()) == []
+
+
+def test_critpath_rejects_bad_version_and_missing_sections():
+    from repro.obs.validate import check_critpath
+
+    assert check_critpath([]) != []
+    doc = _valid_critpath()
+    doc["version"] = 2
+    assert any("version" in e for e in check_critpath(doc))
+    doc = _valid_critpath()
+    del doc["contexts"]
+    assert any("contexts" in e for e in check_critpath(doc))
+
+
+def test_critpath_rejects_gap_sum_and_layer_drift():
+    from repro.obs.validate import check_critpath
+
+    doc = _valid_critpath()
+    doc["contexts"][0]["segments"][1]["start"] += 5.0
+    assert any("gap in coverage" in e for e in check_critpath(doc))
+
+    doc = _valid_critpath()
+    doc["contexts"][0]["makespan_s"] += 3.0
+    assert any("makespan_s" in e for e in check_critpath(doc))
+
+    doc = _valid_critpath()
+    doc["contexts"][0]["layers"]["boot"] += 2.0
+    assert any("layers['boot']" in e for e in check_critpath(doc))
+
+    doc = _valid_critpath()
+    seg = doc["contexts"][0]["segments"][0]
+    seg["duration_s"] = seg["duration_s"] + 1.0
+    assert any("duration_s" in e for e in check_critpath(doc))
+
+
+def test_cli_validates_critpath_files(tmp_path, capsys):
+    good = tmp_path / "suite.critpath.json"
+    good.write_text(json.dumps(_valid_critpath()))
+    assert main([str(good)]) == 0
+    assert "contexts" in capsys.readouterr().out
+
+    empty = tmp_path / "empty.critpath.json"
+    empty.write_text("")
+    assert main([str(empty)]) == 1
+    assert "empty" in capsys.readouterr().err
+
+    truncated = tmp_path / "cut.critpath.json"
+    truncated.write_text(json.dumps(_valid_critpath())[:40])
+    assert main([str(truncated)]) == 1
+    assert "truncated or malformed JSON" in capsys.readouterr().err
+
+
+# -- .timeseries.jsonl ------------------------------------------------------
+
+
+def _valid_timeseries_text():
+    from repro.obs import timeseries_jsonl
+
+    rec = ObsRecorder(label="ts")
+    clock = [0.0]
+    rec._clock = lambda: clock[0]
+    rec.series("condor.idle_jobs").record(3)
+    clock[0] = 5.0
+    rec.series("condor.idle_jobs").record(1)
+    return timeseries_jsonl(rec)
+
+
+def test_valid_timeseries_passes(tmp_path, capsys):
+    from repro.obs.validate import check_timeseries
+
+    lines = [
+        (i + 1, json.loads(line))
+        for i, line in enumerate(_valid_timeseries_text().splitlines())
+    ]
+    assert check_timeseries(lines) == []
+    path = tmp_path / "suite.timeseries.jsonl"
+    path.write_text(_valid_timeseries_text())
+    assert main([str(path)]) == 0
+    assert "samples" in capsys.readouterr().out
+
+
+def test_timeseries_rejects_bad_fields_and_backwards_time():
+    from repro.obs.validate import check_timeseries
+
+    assert check_timeseries([(1, [])]) != []
+    assert check_timeseries(
+        [(1, {"context": "", "series": "s", "t": 0.0, "value": 1.0})]
+    ) != []
+    assert check_timeseries(
+        [(1, {"context": "c", "series": "s", "t": -1.0, "value": 1.0})]
+    ) != []
+    assert check_timeseries(
+        [(1, {"context": "c", "series": "s", "t": 0.0, "value": float("nan")})]
+    ) != []
+    errors = check_timeseries(
+        [
+            (1, {"context": "c", "series": "s", "t": 5.0, "value": 1.0}),
+            (2, {"context": "c", "series": "s", "t": 2.0, "value": 1.0}),
+        ]
+    )
+    assert any("went backwards" in e for e in errors)
+    # different series may interleave times freely
+    assert check_timeseries(
+        [
+            (1, {"context": "c", "series": "a", "t": 5.0, "value": 1.0}),
+            (2, {"context": "c", "series": "b", "t": 2.0, "value": 1.0}),
+        ]
+    ) == []
+
+
+def test_cli_timeseries_empty_vs_truncated_are_distinct(tmp_path, capsys):
+    empty = tmp_path / "empty.timeseries.jsonl"
+    empty.write_text("")
+    assert main([str(empty)]) == 1
+    err_empty = capsys.readouterr().err
+    assert "empty" in err_empty
+
+    cut = tmp_path / "cut.timeseries.jsonl"
+    cut.write_text(_valid_timeseries_text()[:-20])
+    assert main([str(cut)]) == 1
+    err_cut = capsys.readouterr().err
+    assert "truncated or malformed JSON on line" in err_cut
+    assert err_cut != err_empty

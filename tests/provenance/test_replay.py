@@ -167,3 +167,77 @@ def test_cli_missing_bundle_exit_three(tmp_path, capsys):
     assert main([str(tmp_path / "absent.bundle.json")]) == 3
     err = json.loads(capsys.readouterr().err)
     assert err["error"]["code"] == "bundle.unreadable"
+
+
+# -- trace-diff localization: name the span that moved ----------------------
+
+
+def _tampered_bundle_path(bundle, tmp_path, mutate):
+    """Write the bundle, apply ``mutate(sections)``, re-digest, rewrite."""
+    from repro.provenance.bundle import content_digest
+
+    path = write_bundle(bundle, tmp_path / "tampered.bundle.json")
+    doc = json.loads(path.read_text())
+    mutate(doc["sections"])
+    for name, section in doc["sections"].items():
+        doc["section_digests"][name] = content_digest(section)
+    doc["digest"] = content_digest(doc["section_digests"])
+    path.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    return path
+
+
+def test_replay_names_the_span_that_moved(tiny_bundle, tmp_path):
+    from repro.provenance import read_bundle
+
+    def shift_first_condor_wait(sections):
+        spans = [
+            s for d in sections["spans"] for s in d["spans"]
+            if s["name"] == "condor.wait"
+        ]
+        spans[0]["start"] -= 1.5
+
+    path = _tampered_bundle_path(tiny_bundle, tmp_path, shift_first_condor_wait)
+    report = replay(read_bundle(path))
+    assert report.verified is False
+    div = report.span_divergence
+    assert div is not None
+    assert div.name == "condor.wait"
+    assert div.track.startswith("condor/")
+    assert div.field == "start"
+    assert div.actual == div.expected + 1.5
+    rendered = report.render()
+    assert "DIVERGED" in rendered
+    assert "condor.wait" in rendered
+    assert div.track in rendered
+    assert f"t={div.time:g}s" in rendered
+
+
+def test_spans_only_tamper_still_fails_verification(tiny_bundle, tmp_path):
+    """Sim JSON byte-equal but spans differ -> DIVERGED, never a pass."""
+    from repro.provenance import read_bundle
+
+    def drop_last_span(sections):
+        sections["spans"][0]["spans"].pop()
+
+    path = _tampered_bundle_path(tiny_bundle, tmp_path, drop_last_span)
+    report = replay(read_bundle(path))
+    assert report.verified is False
+    assert report.span_divergence is not None
+    assert report.span_divergence.field == "<missing>"
+    # the numeric sim compare saw nothing wrong; the span diff did
+    assert report.divergence is None
+
+
+def test_cli_reports_span_divergence_and_exit_one(tiny_bundle, tmp_path, capsys):
+    def shift_boot(sections):
+        spans = [
+            s for d in sections["spans"] for s in d["spans"]
+            if s["name"] == "ec2.boot"
+        ]
+        spans[0]["end"] += 2.0
+
+    path = _tampered_bundle_path(tiny_bundle, tmp_path, shift_boot)
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "first diverging span" in out
+    assert "ec2.boot" in out

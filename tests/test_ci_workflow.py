@@ -253,3 +253,65 @@ def test_bench_job_uploads_suite_artifact(workflow):
 def test_lint_job_runs_ruff(workflow):
     commands = [s.get("run", "") for s in _steps(workflow, "lint")]
     assert any("ruff check" in c for c in commands)
+
+
+def test_bench_job_runs_critpath_and_validates_all_obs_artefacts(workflow):
+    """A --critpath-out sweep runs, leaves sim JSON unchanged, and the
+    validator covers critpath docs and gauge series alongside traces."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    critpath = [c for c in commands if "--critpath-out" in c]
+    assert critpath, "bench-smoke must run a --critpath-out sweep"
+    assert any("cmp" in c and "critpath" in c for c in critpath), (
+        "the critpath-on sim JSON must be byte-compared against the obs-off one"
+    )
+    validate = [c for c in commands if "repro.obs.validate" in c]
+    assert any(".critpath.json" in c for c in validate), (
+        "exported critpath docs must be schema-checked"
+    )
+    assert any(".timeseries.jsonl" in c for c in validate), (
+        "exported gauge series must be schema-checked"
+    )
+
+
+def test_bench_job_gates_trajectory_against_committed_baseline(workflow):
+    """The trajectory --check gate runs against the committed baseline."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    gate = [c for c in commands if "repro.bench.trajectory" in c and "--check" in c]
+    assert gate, "bench-smoke must run the trajectory --check gate"
+    step = gate[0]
+    assert "--critpath" in step, "the gate must pin critical-path layers"
+    assert "benchmarks/results/trajectory_baseline.json" in step, (
+        "the gate must use the committed baseline"
+    )
+
+
+def test_trajectory_baseline_is_committed():
+    baseline = (
+        pathlib.Path(__file__).parent.parent
+        / "benchmarks"
+        / "results"
+        / "trajectory_baseline.json"
+    )
+    assert baseline.exists(), "commit benchmarks/results/trajectory_baseline.json"
+    import json
+
+    doc = json.loads(baseline.read_text())
+    assert doc["critpath"]["layers"], "baseline must pin critical-path layers"
+
+
+def test_bench_job_rejects_tampered_span_log(workflow):
+    """The trace-diff negative gate: a bundle whose span log was perturbed
+    must fail replay and the failure must name the diverging span."""
+    commands = [s.get("run", "") for s in _steps(workflow, "bench-smoke")]
+    tampered = [c for c in commands if "perturbed.bundle.json" in c]
+    assert tampered, "bench-smoke must exercise a span-tampered bundle"
+    step = tampered[0]
+    assert "unexpectedly verified" in step and "exit 1" in step, (
+        "a verifying tampered bundle must fail the job"
+    )
+    assert "first diverging span" in step, (
+        "the replay output must name the first diverging span"
+    )
+    assert "condor.wait" in step, (
+        "the asserted divergence must carry the span name"
+    )
